@@ -1,0 +1,65 @@
+//! Micro-benchmarks of the CDCL SAT substrate, including the VSIDS and
+//! clause-database-reduction ablations called out in DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use isopredict_sat::{Lit, Solver, SolverConfig, Var};
+
+/// Builds an unsatisfiable pigeonhole instance with `n` pigeons and `n - 1` holes.
+fn pigeonhole(solver: &mut Solver, n: usize) {
+    let holes = n - 1;
+    let mut vars = vec![vec![Var::from_index(0); holes]; n];
+    for row in &mut vars {
+        for slot in row.iter_mut() {
+            *slot = solver.new_var();
+        }
+    }
+    for row in &vars {
+        solver.add_clause(row.iter().map(|&v| Lit::positive(v)));
+    }
+    for hole in 0..holes {
+        for p1 in 0..n {
+            for p2 in (p1 + 1)..n {
+                solver.add_clause([Lit::negative(vars[p1][hole]), Lit::negative(vars[p2][hole])]);
+            }
+        }
+    }
+}
+
+fn bench_pigeonhole(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sat/pigeonhole");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(5));
+    for n in [6usize, 7] {
+        group.bench_with_input(BenchmarkId::new("vsids", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut solver = Solver::new();
+                pigeonhole(&mut solver, n);
+                assert!(solver.solve().is_unsat());
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("naive-order", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut solver = Solver::with_config(SolverConfig {
+                    use_vsids: false,
+                    ..SolverConfig::default()
+                });
+                pigeonhole(&mut solver, n);
+                assert!(solver.solve().is_unsat());
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("no-db-reduction", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut solver = Solver::with_config(SolverConfig {
+                    reduce_db: false,
+                    ..SolverConfig::default()
+                });
+                pigeonhole(&mut solver, n);
+                assert!(solver.solve().is_unsat());
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pigeonhole);
+criterion_main!(benches);

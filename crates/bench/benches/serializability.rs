@@ -1,0 +1,51 @@
+//! Benchmarks the serializability checker (used by validation, the exact
+//! strategy's candidate checks, and the Table 6/7 "Unser" columns).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use isopredict_bench::harness::record_observed;
+use isopredict_history::serializability;
+use isopredict_store::{IsolationLevel, StoreMode};
+use isopredict_workloads::{run, Benchmark, Schedule, WorkloadConfig};
+
+fn bench_checker(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serializability/check");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(5));
+
+    // A serializable history (observed execution).
+    let observed = record_observed(Benchmark::Smallbank, &WorkloadConfig::small(0)).history;
+    group.bench_with_input(
+        BenchmarkId::from_parameter("smallbank-observed"),
+        &observed,
+        |b, history| {
+            b.iter(|| {
+                assert!(serializability::check(history).is_serializable());
+            });
+        },
+    );
+
+    // A weakly isolated (likely unserializable) history.
+    let weak = run(
+        Benchmark::Smallbank,
+        &WorkloadConfig::small(0),
+        StoreMode::WeakRandom {
+            level: IsolationLevel::Causal,
+            seed: 3,
+        },
+        &Schedule::RoundRobin,
+    )
+    .history;
+    group.bench_with_input(
+        BenchmarkId::from_parameter("smallbank-weak"),
+        &weak,
+        |b, history| {
+            b.iter(|| {
+                criterion::black_box(serializability::check(history));
+            });
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_checker);
+criterion_main!(benches);

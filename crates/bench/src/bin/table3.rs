@@ -1,0 +1,43 @@
+//! Regenerates Table 3: workload characteristics (average KV accesses and
+//! committed transactions over ten observed executions).
+//!
+//! Usage: `cargo run -p isopredict-bench --bin table3 [-- --seeds N]`
+
+use isopredict_bench::harness::record_observed;
+use isopredict_bench::tables::CharacteristicsRow;
+use isopredict_workloads::{Benchmark, WorkloadCharacteristics, WorkloadConfig, WorkloadSize};
+
+fn main() {
+    let seeds = arg_value("--seeds").unwrap_or(10);
+    println!("Table 3: average events and committed transactions over {seeds} trials");
+    println!(
+        "{:<10} {:<6} {:>8} {:>8} {:>8} {:>8}",
+        "Program", "Size", "Reads", "Writes", "Txns", "(RO)"
+    );
+    for size in [WorkloadSize::Small, WorkloadSize::Large] {
+        for benchmark in Benchmark::all() {
+            let samples: Vec<WorkloadCharacteristics> = (0..seeds)
+                .map(|seed| {
+                    let config = WorkloadConfig::sized(size, seed);
+                    let output = record_observed(benchmark, &config);
+                    WorkloadCharacteristics::of(&output.history)
+                })
+                .collect();
+            let row = CharacteristicsRow {
+                benchmark,
+                size,
+                characteristics: WorkloadCharacteristics::average(&samples),
+            };
+            println!("{}", row.render());
+        }
+        println!();
+    }
+}
+
+fn arg_value(name: &str) -> Option<u64> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}

@@ -1,0 +1,54 @@
+//! Regenerates Tables 4 and 5: IsoPredict's effectiveness and performance
+//! under causal consistency (Table 4) and read committed (Table 5).
+//!
+//! Usage:
+//! `cargo run --release -p isopredict-bench --bin table4_5 -- [--isolation causal|rc] [--size small|large] [--seeds N] [--budget N]`
+
+use isopredict::{IsolationLevel, Strategy};
+use isopredict_bench::harness::run_experiment;
+use isopredict_bench::tables::PredictionRow;
+use isopredict_workloads::{Benchmark, WorkloadConfig, WorkloadSize};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let isolation = match arg(&args, "--isolation").as_deref() {
+        Some("rc") | Some("read-committed") => IsolationLevel::ReadCommitted,
+        _ => IsolationLevel::Causal,
+    };
+    let size = match arg(&args, "--size").as_deref() {
+        Some("large") => WorkloadSize::Large,
+        _ => WorkloadSize::Small,
+    };
+    let seeds: u64 = arg(&args, "--seeds").and_then(|v| v.parse().ok()).unwrap_or(10);
+    let budget: u64 = arg(&args, "--budget")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2_000_000);
+
+    let table = match isolation {
+        IsolationLevel::Causal => "Table 4",
+        IsolationLevel::ReadCommitted => "Table 5",
+    };
+    println!("{table}: prediction under {isolation} ({size} workload, {seeds} seeds)");
+    println!("{}", PredictionRow::header());
+
+    for benchmark in Benchmark::all() {
+        for strategy in Strategy::all() {
+            let results: Vec<_> = (0..seeds)
+                .map(|seed| {
+                    let config = WorkloadConfig::sized(size, seed);
+                    run_experiment(benchmark, &config, strategy, isolation, Some(budget))
+                })
+                .collect();
+            let row = PredictionRow::aggregate(benchmark, strategy, &results);
+            println!("{}", row.render());
+        }
+        println!();
+    }
+}
+
+fn arg(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}

@@ -1,0 +1,302 @@
+//! Aggregation and text rendering of the paper's tables.
+
+use std::time::Duration;
+
+use isopredict::{IsolationLevel, Strategy};
+use isopredict_workloads::{Benchmark, WorkloadCharacteristics, WorkloadSize};
+
+use crate::harness::{ExperimentOutcome, ExperimentResult};
+
+/// One row of Table 4 or 5: a benchmark × strategy aggregate over several seeds.
+#[derive(Debug, Clone)]
+pub struct PredictionRow {
+    /// Benchmark of this row.
+    pub benchmark: Benchmark,
+    /// Strategy of this row.
+    pub strategy: Strategy,
+    /// Number of runs where the solver gave up ("T/O" / "Unk").
+    pub unknown: usize,
+    /// Number of runs with no prediction ("Unsat").
+    pub unsat: usize,
+    /// Number of runs with a prediction ("Sat").
+    pub sat: usize,
+    /// Number of predictions whose validating execution was unserializable.
+    pub validated: usize,
+    /// Number of validating executions that diverged.
+    pub diverged: usize,
+    /// Average number of literals in the generated constraints.
+    pub literals: f64,
+    /// Average constraint generation time.
+    pub constraint_gen_time: Duration,
+    /// Average solving time over successful predictions.
+    pub solving_time_sat: Option<Duration>,
+    /// Average solving time over failed predictions.
+    pub solving_time_unsat: Option<Duration>,
+}
+
+impl PredictionRow {
+    /// Aggregates per-seed results into a row.
+    #[must_use]
+    pub fn aggregate(
+        benchmark: Benchmark,
+        strategy: Strategy,
+        results: &[ExperimentResult],
+    ) -> Self {
+        let mut row = PredictionRow {
+            benchmark,
+            strategy,
+            unknown: 0,
+            unsat: 0,
+            sat: 0,
+            validated: 0,
+            diverged: 0,
+            literals: 0.0,
+            constraint_gen_time: Duration::ZERO,
+            solving_time_sat: None,
+            solving_time_unsat: None,
+        };
+        let mut literal_samples = Vec::new();
+        let mut gen_samples = Vec::new();
+        let mut sat_times = Vec::new();
+        let mut unsat_times = Vec::new();
+        for result in results {
+            match result.outcome {
+                ExperimentOutcome::Unknown => row.unknown += 1,
+                ExperimentOutcome::NoPrediction => {
+                    row.unsat += 1;
+                    unsat_times.push(result.solving_time);
+                }
+                ExperimentOutcome::Validated => {
+                    row.sat += 1;
+                    row.validated += 1;
+                    sat_times.push(result.solving_time);
+                }
+                ExperimentOutcome::FailedValidation => {
+                    row.sat += 1;
+                    sat_times.push(result.solving_time);
+                }
+            }
+            if result.diverged {
+                row.diverged += 1;
+            }
+            if result.stats.literals > 0 {
+                literal_samples.push(result.stats.literals as f64);
+                gen_samples.push(result.constraint_gen_time);
+            }
+        }
+        row.literals = mean(&literal_samples);
+        row.constraint_gen_time = mean_duration(&gen_samples);
+        row.solving_time_sat = (!sat_times.is_empty()).then(|| mean_duration(&sat_times));
+        row.solving_time_unsat = (!unsat_times.is_empty()).then(|| mean_duration(&unsat_times));
+        row
+    }
+
+    /// Renders the row in the style of Tables 4 and 5.
+    #[must_use]
+    pub fn render(&self) -> String {
+        format!(
+            "{:<10} {:<14} {:>4} {:>6} {:>4} {:>10} {:>10} {:>9.1}K {:>10} {:>10} {:>10}",
+            self.benchmark.name(),
+            self.strategy.name(),
+            self.unknown,
+            self.unsat,
+            self.sat,
+            format!("{} ", self.validated),
+            format!("({})", self.diverged),
+            self.literals / 1000.0,
+            format_duration(Some(self.constraint_gen_time)),
+            format_duration(self.solving_time_sat),
+            format_duration(self.solving_time_unsat),
+        )
+    }
+
+    /// The header matching [`PredictionRow::render`].
+    #[must_use]
+    pub fn header() -> String {
+        format!(
+            "{:<10} {:<14} {:>4} {:>6} {:>4} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            "Program",
+            "Strategy",
+            "Unk",
+            "Unsat",
+            "Sat",
+            "Validated",
+            "(Diverged)",
+            "#Literals",
+            "Gen time",
+            "Solve sat",
+            "Solve uns"
+        )
+    }
+}
+
+/// One row of Table 3.
+#[derive(Debug, Clone)]
+pub struct CharacteristicsRow {
+    /// Benchmark of this row.
+    pub benchmark: Benchmark,
+    /// Workload size.
+    pub size: WorkloadSize,
+    /// Averaged characteristics.
+    pub characteristics: WorkloadCharacteristics,
+}
+
+impl CharacteristicsRow {
+    /// Renders the row in the style of Table 3.
+    #[must_use]
+    pub fn render(&self) -> String {
+        format!(
+            "{:<10} {:<6} {:>8.1} {:>8.1} {:>8.1} ({:>5.1})",
+            self.benchmark.name(),
+            self.size.to_string(),
+            self.characteristics.reads,
+            self.characteristics.writes,
+            self.characteristics.committed,
+            self.characteristics.read_only,
+        )
+    }
+}
+
+/// One row of Table 6 or 7.
+#[derive(Debug, Clone)]
+pub struct ComparisonRow {
+    /// Benchmark of this row.
+    pub benchmark: Benchmark,
+    /// Isolation level of the comparison.
+    pub isolation: IsolationLevel,
+    /// MonkeyDB-style random exploration: fraction of runs with an assertion failure.
+    pub monkeydb_fail: f64,
+    /// MonkeyDB-style random exploration: fraction of unserializable runs.
+    pub monkeydb_unser: f64,
+    /// IsoPredict: fraction of seeds with a validated unserializable prediction.
+    pub isopredict_unser: f64,
+    /// Regular execution (latest-committed reads): fraction of runs with an
+    /// assertion failure. Only reported for read committed (Table 7).
+    pub regular_fail: Option<f64>,
+}
+
+impl ComparisonRow {
+    /// Renders the row in the style of Tables 6 and 7.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let regular = match self.regular_fail {
+            Some(f) => format!("{:>6.0}%", f * 100.0),
+            None => format!("{:>7}", "-"),
+        };
+        format!(
+            "{:<10} {:>6.0}% {:>6.0}% {:>6.0}% {}",
+            self.benchmark.name(),
+            self.monkeydb_fail * 100.0,
+            self.monkeydb_unser * 100.0,
+            self.isopredict_unser * 100.0,
+            regular,
+        )
+    }
+}
+
+fn mean(samples: &[f64]) -> f64 {
+    if samples.is_empty() {
+        0.0
+    } else {
+        samples.iter().sum::<f64>() / samples.len() as f64
+    }
+}
+
+fn mean_duration(samples: &[Duration]) -> Duration {
+    if samples.is_empty() {
+        Duration::ZERO
+    } else {
+        samples.iter().sum::<Duration>() / samples.len() as u32
+    }
+}
+
+fn format_duration(duration: Option<Duration>) -> String {
+    match duration {
+        None => "-".to_string(),
+        Some(d) if d.as_secs_f64() >= 1.0 => format!("{:.1} s", d.as_secs_f64()),
+        Some(d) => format!("{:.1} ms", d.as_secs_f64() * 1e3),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isopredict_smt::EncodingStats;
+
+    fn result(outcome: ExperimentOutcome, diverged: bool) -> ExperimentResult {
+        ExperimentResult {
+            benchmark: Benchmark::Smallbank,
+            seed: 0,
+            strategy: Strategy::ApproxRelaxed,
+            isolation: IsolationLevel::Causal,
+            outcome,
+            diverged,
+            stats: EncodingStats {
+                literals: 1000,
+                ..EncodingStats::default()
+            },
+            constraint_gen_time: Duration::from_millis(10),
+            solving_time: Duration::from_millis(20),
+            observed: WorkloadCharacteristics::default(),
+        }
+    }
+
+    #[test]
+    fn aggregation_counts_outcomes() {
+        let results = vec![
+            result(ExperimentOutcome::Validated, false),
+            result(ExperimentOutcome::FailedValidation, true),
+            result(ExperimentOutcome::NoPrediction, false),
+            result(ExperimentOutcome::Unknown, false),
+        ];
+        let row = PredictionRow::aggregate(Benchmark::Smallbank, Strategy::ApproxRelaxed, &results);
+        assert_eq!(row.sat, 2);
+        assert_eq!(row.validated, 1);
+        assert_eq!(row.unsat, 1);
+        assert_eq!(row.unknown, 1);
+        assert_eq!(row.diverged, 1);
+        assert!(row.literals > 0.0);
+        let rendered = row.render();
+        assert!(rendered.contains("Smallbank"));
+        assert!(rendered.contains("Approx-Relaxed"));
+        assert!(PredictionRow::header().contains("Validated"));
+    }
+
+    #[test]
+    fn comparison_row_renders_percentages() {
+        let row = ComparisonRow {
+            benchmark: Benchmark::Voter,
+            isolation: IsolationLevel::Causal,
+            monkeydb_fail: 0.7,
+            monkeydb_unser: 0.8,
+            isopredict_unser: 0.0,
+            regular_fail: None,
+        };
+        let text = row.render();
+        assert!(text.contains("70%"));
+        assert!(text.contains("80%"));
+        assert!(text.contains('-'));
+        let with_regular = ComparisonRow {
+            regular_fail: Some(0.5),
+            ..row
+        };
+        assert!(with_regular.render().contains("50%"));
+    }
+
+    #[test]
+    fn characteristics_row_renders() {
+        let row = CharacteristicsRow {
+            benchmark: Benchmark::Tpcc,
+            size: WorkloadSize::Small,
+            characteristics: WorkloadCharacteristics {
+                reads: 10.0,
+                writes: 5.0,
+                committed: 11.5,
+                read_only: 0.5,
+            },
+        };
+        let text = row.render();
+        assert!(text.contains("TPC-C"));
+        assert!(text.contains("10.0"));
+    }
+}

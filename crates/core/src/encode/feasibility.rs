@@ -1,0 +1,215 @@
+//! Feasibility constraints (Section 4.1 and Appendix B.1).
+//!
+//! The predicted execution must be a feasible execution prefix of the
+//! application that produced the observed execution:
+//!
+//! * session order is preserved (implicit here: `φ_so` is a constant taken
+//!   from the observed history);
+//! * every read before its session's prediction boundary reads from the same
+//!   writer as in the observed execution;
+//! * every read on or before the boundary reads from a write that is itself
+//!   before *its* session's boundary;
+//! * each read's writer is one of the transactions that (last-)write the key
+//!   (guaranteed by the choice variable's domain);
+//! * happens-before is (at least) the transitive closure of session order and
+//!   the chosen write–read relation.
+
+use isopredict_history::{SessionId, TxnId};
+
+use super::Encoder;
+
+impl Encoder<'_> {
+    /// Generates the feasibility constraints.
+    pub(crate) fn encode_feasibility(&mut self) {
+        self.encode_observed_prefix();
+        self.encode_writer_within_boundary();
+        self.encode_happens_before();
+    }
+
+    /// `i < φ_boundary(s) ⇒ φ_choice(s, i) = φ_obs(s, i)`.
+    fn encode_observed_prefix(&mut self) {
+        let reads: Vec<(SessionId, usize, TxnId)> = self
+            .choice
+            .iter()
+            .map(|(&(session, pos), choice)| (session, pos, choice.observed))
+            .collect();
+        for (session, pos, observed) in reads {
+            let before = self.must_match(session, pos);
+            let same = self.choice_eq(session, pos, observed);
+            let constraint = self.smt.implies(before, same);
+            self.smt.assert_term(constraint);
+        }
+    }
+
+    /// `φ_choice(s2, i) = t1 ∧ i ≤ φ_boundary(s2) ⇒ wrpos_k(t1) < φ_boundary(s1)`.
+    fn encode_writer_within_boundary(&mut self) {
+        let reads: Vec<(SessionId, usize, Vec<TxnId>, isopredict_history::KeyId)> = self
+            .choice
+            .iter()
+            .map(|(&(session, pos), choice)| {
+                (session, pos, choice.candidates.clone(), choice.key)
+            })
+            .collect();
+        for (session, pos, candidates, key) in reads {
+            for writer in candidates {
+                if writer.is_initial() {
+                    continue; // the initial state is trivially before every boundary
+                }
+                let eq = self.choice_eq(session, pos, writer);
+                let within = self.included(session, pos);
+                let antecedent = self.smt.and([eq, within]);
+                let writer_ok = self.write_included(writer, key);
+                let constraint = self.smt.implies(antecedent, writer_ok);
+                self.smt.assert_term(constraint);
+            }
+        }
+    }
+
+    /// `φ_hb` contains session order, the chosen write–read relation, and is
+    /// transitively closed: `so(t1,t2) ⇒ hb(t1,t2)`, `wr(t1,t2) ⇒ hb(t1,t2)`,
+    /// and `hb(t1,t) ∧ hb(t,t2) ⇒ hb(t1,t2)`.
+    ///
+    /// Only this direction is needed: the isolation constraints treat `hb` as
+    /// an antecedent, so the solver never benefits from setting `hb` true
+    /// spuriously, and any superset of the real happens-before only makes the
+    /// isolation constraints stronger.
+    fn encode_happens_before(&mut self) {
+        let txns: Vec<TxnId> = self.history.transactions().iter().map(|t| t.id).collect();
+        for &t1 in &txns {
+            for &t2 in &txns {
+                if t1 == t2 {
+                    continue;
+                }
+                let hb = self.hb(t1, t2);
+                if self.so(t1, t2) {
+                    self.smt.assert_term(hb);
+                    continue;
+                }
+                let wr = self.wr(t1, t2);
+                let implied = self.smt.implies(wr, hb);
+                self.smt.assert_term(implied);
+            }
+        }
+        for &t1 in &txns {
+            for &t2 in &txns {
+                if t1 == t2 {
+                    continue;
+                }
+                for &mid in &txns {
+                    if mid == t1 || mid == t2 {
+                        continue;
+                    }
+                    let first = self.hb(t1, mid);
+                    let second = self.hb(mid, t2);
+                    let both = self.smt.and([first, second]);
+                    let target = self.hb(t1, t2);
+                    let constraint = self.smt.implies(both, target);
+                    self.smt.assert_term(constraint);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::BoundaryKind;
+    use crate::encode::test_support::*;
+    use crate::encode::{BoundaryPoint, Encoder};
+    use isopredict_history::{SessionId, TxnId};
+    use isopredict_smt::SmtResult;
+
+    /// With the boundary forced to ∞ (no change anywhere), every read must
+    /// keep its observed writer.
+    #[test]
+    fn observed_prefix_constraint_pins_reads_before_the_boundary() {
+        let history = chained_deposits();
+        let mut encoder = Encoder::new(&history, BoundaryKind::Strict);
+        encoder.encode_feasibility();
+
+        // Force session 2's boundary to ∞ (always the last domain value).
+        let s2 = SessionId(1);
+        let boundary = encoder.boundary[&s2].clone();
+        let infinity_index = boundary.domain.len() - 1;
+        assert_eq!(boundary.domain[infinity_index], BoundaryPoint::Infinity);
+        let pin = encoder.smt.fd_eq(boundary.var, infinity_index);
+        encoder.smt.assert_term(pin);
+
+        // Then t2's read cannot read from t0.
+        let from_initial = encoder.choice_eq(s2, 0, TxnId::INITIAL);
+        encoder.smt.assert_term(from_initial);
+        assert_eq!(encoder.smt.check(), SmtResult::Unsat);
+    }
+
+    /// A read may change its writer when it sits on the boundary.
+    #[test]
+    fn boundary_read_may_change_writer() {
+        let history = chained_deposits();
+        let mut encoder = Encoder::new(&history, BoundaryKind::Strict);
+        encoder.encode_feasibility();
+        let s2 = SessionId(1);
+        let from_initial = encoder.choice_eq(s2, 0, TxnId::INITIAL);
+        encoder.smt.assert_term(from_initial);
+        assert_eq!(encoder.smt.check(), SmtResult::Sat);
+        // The model must place session 2's boundary at the read (position 0),
+        // not at ∞.
+        assert_eq!(
+            encoder.model_boundary(s2),
+            Some(BoundaryPoint::At {
+                match_before: 0,
+                include_through: 0
+            })
+        );
+    }
+
+    /// A read cannot observe a write that lies beyond the writer's boundary.
+    #[test]
+    fn reads_cannot_observe_writes_beyond_the_writers_boundary() {
+        let history = deposit_withdraw_deposit();
+        let mut encoder = Encoder::new(&history, BoundaryKind::Strict);
+        encoder.encode_feasibility();
+
+        // Pin session 1's boundary to its read at position 0 — its write at
+        // position 1 is then beyond the boundary.
+        let s1 = SessionId(0);
+        let boundary = encoder.boundary[&s1].clone();
+        let read_index = boundary
+            .domain
+            .iter()
+            .position(|&p| {
+                p == BoundaryPoint::At {
+                    match_before: 0,
+                    include_through: 0,
+                }
+            })
+            .expect("position 0 is a read of session 1");
+        let pin = encoder.smt.fd_eq(boundary.var, read_index);
+        encoder.smt.assert_term(pin);
+
+        // Session 2's first read (position 0 in session 2) observing t1 must
+        // now be impossible.
+        let s2 = SessionId(1);
+        let from_t1 = encoder.choice_eq(s2, 0, TxnId(1));
+        encoder.smt.assert_term(from_t1);
+        assert_eq!(encoder.smt.check(), SmtResult::Unsat);
+    }
+
+    #[test]
+    fn require_change_makes_the_unchanged_assignment_infeasible() {
+        let history = chained_deposits();
+        let mut encoder = Encoder::new(&history, BoundaryKind::Strict);
+        encoder.encode_feasibility();
+        encoder.encode_require_change();
+        // Pin both reads to their observed writers: unsatisfiable.
+        let pins: Vec<(SessionId, usize, TxnId)> = encoder
+            .choice
+            .iter()
+            .map(|(&(s, p), c)| (s, p, c.observed))
+            .collect();
+        for (session, pos, observed) in pins {
+            let eq = encoder.choice_eq(session, pos, observed);
+            encoder.smt.assert_term(eq);
+        }
+        assert_eq!(encoder.smt.check(), SmtResult::Unsat);
+    }
+}

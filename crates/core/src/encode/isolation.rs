@@ -1,0 +1,253 @@
+//! Weak-isolation constraints (Section 4.3 and Appendix B.3).
+//!
+//! The predicted execution must be valid under the target isolation level:
+//! there must exist a commit order consistent with happens-before and the
+//! level's arbitration order. Commit-order positions are strict-order nodes
+//! (`φ_co(t)`), so the constraints are implications whose consequents are
+//! `co(t1) < co(t2)` atoms; the strict-order theory guarantees an acyclic —
+//! hence realizable — set of comparisons.
+
+use isopredict_history::TxnId;
+use isopredict_store::IsolationLevel;
+
+use super::Encoder;
+
+impl Encoder<'_> {
+    /// Generates the constraints for the chosen isolation level.
+    pub(crate) fn encode_isolation(&mut self, level: IsolationLevel) {
+        match level {
+            IsolationLevel::Causal => self.encode_causal(),
+            IsolationLevel::ReadCommitted => self.encode_read_committed(),
+        }
+    }
+
+    /// `hb(t1, t2) ⇒ co(t1) < co(t2)` for every ordered pair.
+    fn encode_hb_in_commit_order(&mut self) {
+        let txns: Vec<TxnId> = self.history.transactions().iter().map(|t| t.id).collect();
+        for &t1 in &txns {
+            for &t2 in &txns {
+                if t1 == t2 {
+                    continue;
+                }
+                let hb = self.hb(t1, t2);
+                let co1 = self.co(t1);
+                let co2 = self.co(t2);
+                let less = self.smt.less(co1, co2);
+                let constraint = self.smt.implies(hb, less);
+                self.smt.assert_term(constraint);
+            }
+        }
+    }
+
+    /// Causal consistency (Section 4.3.1, Appendix B.3.1):
+    /// `wr_k(t2, t3) ∧ hb(t1, t3) ∧ wrpos_k(t1) < boundary(s1) ⇒ co(t1) < co(t2)`.
+    fn encode_causal(&mut self) {
+        self.encode_hb_in_commit_order();
+        let txns: Vec<TxnId> = self.history.transactions().iter().map(|t| t.id).collect();
+        let keys: Vec<_> = self.history.keys().collect();
+        for key in keys {
+            let writers = self.history.writers_of(key);
+            let readers = self.history.readers_of(key);
+            for &t1 in &writers {
+                for &t2 in &writers {
+                    if t1 == t2 {
+                        continue;
+                    }
+                    for &t3 in &readers {
+                        if t3 == t1 || t3 == t2 {
+                            continue;
+                        }
+                        let wr = self.wr_k(t2, t3, key);
+                        let hb = self.hb(t1, t3);
+                        let within = self.write_included(t1, key);
+                        let antecedent = self.smt.and([wr, hb, within]);
+                        let co1 = self.co(t1);
+                        let co2 = self.co(t2);
+                        let less = self.smt.less(co1, co2);
+                        let constraint = self.smt.implies(antecedent, less);
+                        self.smt.assert_term(constraint);
+                    }
+                }
+            }
+        }
+        let _ = txns;
+    }
+
+    /// Read committed (Section 4.3.2, Appendix B.3.2):
+    /// `choice(s3, i) = t1 ∧ choice(s3, j) = t2 ∧ j ≤ boundary(s3) ⇒ co(t1) < co(t2)`
+    /// for reads `i < j` of transaction `t3` where `j` reads key `k`, and `t1`
+    /// and `t2` both write `k`.
+    fn encode_read_committed(&mut self) {
+        self.encode_hb_in_commit_order();
+        let keys: Vec<_> = self.history.keys().collect();
+        for key in keys {
+            let writers = self.history.writers_of(key);
+            let readers = self.history.readers_of(key);
+            for &t3 in &readers {
+                if t3.is_initial() {
+                    continue;
+                }
+                let txn = self.history.txn(t3);
+                let Some(session) = txn.session else { continue };
+                let all_read_positions = txn.read_positions();
+                let key_read_positions = txn.read_positions_of_key(key);
+                for &t1 in &writers {
+                    for &t2 in &writers {
+                        if t1 == t2 || t1 == t3 || t2 == t3 {
+                            continue;
+                        }
+                        for &j in &key_read_positions {
+                            for &i in &all_read_positions {
+                                if i >= j {
+                                    continue;
+                                }
+                                let beta = self.choice_eq(session, i, t1);
+                                if beta == self.smt.false_term() {
+                                    continue;
+                                }
+                                let alpha = self.choice_eq(session, j, t2);
+                                if alpha == self.smt.false_term() {
+                                    continue;
+                                }
+                                let within = self.included(session, j);
+                                let antecedent = self.smt.and([beta, alpha, within]);
+                                let co1 = self.co(t1);
+                                let co2 = self.co(t2);
+                                let less = self.smt.less(co1, co2);
+                                let constraint = self.smt.implies(antecedent, less);
+                                self.smt.assert_term(constraint);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::BoundaryKind;
+    use crate::encode::test_support::*;
+    use crate::encode::Encoder;
+    use isopredict_history::{HistoryBuilder, SessionId, TxnId};
+    use isopredict_smt::SmtResult;
+    use isopredict_store::IsolationLevel;
+
+    /// The Figure 7c/7d situation: forcing a same-session later read back to
+    /// the initial state is not causal, so the constraints must reject it.
+    #[test]
+    fn causal_constraints_reject_non_causal_choices() {
+        let mut b = HistoryBuilder::new();
+        let sa = b.session("A");
+        let sb = b.session("B");
+        let t1 = b.begin(sa);
+        b.write(t1, "x");
+        b.commit(t1);
+        let t2 = b.begin(sb);
+        b.read(t2, "x", t1);
+        b.write(t2, "x");
+        b.commit(t2);
+        let t3 = b.begin(sa);
+        b.read(t3, "x", t2);
+        b.commit(t3);
+        let history = b.finish();
+
+        let mut encoder = Encoder::new(&history, BoundaryKind::Strict);
+        encoder.encode_feasibility();
+        encoder.encode_isolation(IsolationLevel::Causal);
+
+        // Force t3 (session A, read at its recorded position) to read from t0.
+        let pos = history.txn(TxnId(3)).read_positions()[0];
+        let from_initial = encoder.choice_eq(SessionId(0), pos, TxnId::INITIAL);
+        encoder.smt.assert_term(from_initial);
+        assert_eq!(encoder.smt.check(), SmtResult::Unsat);
+    }
+
+    /// The same choice is allowed under read committed (Figure 7's discussion:
+    /// rc admits strictly more predictions than causal).
+    #[test]
+    fn read_committed_accepts_what_causal_rejects() {
+        let mut b = HistoryBuilder::new();
+        let sa = b.session("A");
+        let sb = b.session("B");
+        let t1 = b.begin(sa);
+        b.write(t1, "x");
+        b.commit(t1);
+        let t2 = b.begin(sb);
+        b.read(t2, "x", t1);
+        b.write(t2, "x");
+        b.commit(t2);
+        let t3 = b.begin(sa);
+        b.read(t3, "x", t2);
+        b.commit(t3);
+        let history = b.finish();
+
+        let mut encoder = Encoder::new(&history, BoundaryKind::Strict);
+        encoder.encode_feasibility();
+        encoder.encode_isolation(IsolationLevel::ReadCommitted);
+        let pos = history.txn(TxnId(3)).read_positions()[0];
+        let from_initial = encoder.choice_eq(SessionId(0), pos, TxnId::INITIAL);
+        encoder.smt.assert_term(from_initial);
+        assert_eq!(encoder.smt.check(), SmtResult::Sat);
+    }
+
+    /// Reading an older value after a newer one inside one transaction
+    /// violates read committed.
+    #[test]
+    fn read_committed_rejects_intra_transaction_time_travel() {
+        let mut b = HistoryBuilder::new();
+        let s1 = b.session("s1");
+        let s2 = b.session("s2");
+        let t1 = b.begin(s1);
+        b.write(t1, "x");
+        b.commit(t1);
+        let t2 = b.begin(s1);
+        b.read(t2, "x", t1);
+        b.write(t2, "x");
+        b.commit(t2);
+        let t3 = b.begin(s2);
+        b.read(t3, "x", t2);
+        b.read(t3, "x", t2);
+        b.commit(t3);
+        let history = b.finish();
+
+        let mut encoder = Encoder::new(&history, BoundaryKind::Strict);
+        encoder.encode_feasibility();
+        encoder.encode_isolation(IsolationLevel::ReadCommitted);
+        // Force the second read of t3 to go back to t1 after the first read
+        // observed t2, and keep both reads inside the prediction boundary.
+        let positions = history.txn(TxnId(3)).read_positions();
+        let first = encoder.choice_eq(SessionId(1), positions[0], TxnId(2));
+        let second = encoder.choice_eq(SessionId(1), positions[1], TxnId(1));
+        encoder.smt.assert_term(first);
+        encoder.smt.assert_term(second);
+        let boundary = encoder.boundary[&SessionId(1)].clone();
+        let second_read_index = boundary
+            .domain
+            .iter()
+            .position(|&p| {
+                p == crate::encode::BoundaryPoint::At {
+                    match_before: positions[1],
+                    include_through: positions[1],
+                }
+            })
+            .expect("the second read is a boundary candidate");
+        let pin = encoder.smt.fd_eq(boundary.var, second_read_index);
+        encoder.smt.assert_term(pin);
+        assert_eq!(encoder.smt.check(), SmtResult::Unsat);
+    }
+
+    /// Both deposits reading the initial state is causal (Figure 1b / 3a), so
+    /// feasibility + causal constraints accept it.
+    #[test]
+    fn causal_constraints_accept_the_racing_deposits() {
+        let history = chained_deposits();
+        let mut encoder = Encoder::new(&history, BoundaryKind::Strict);
+        encoder.encode_feasibility();
+        encoder.encode_isolation(IsolationLevel::Causal);
+        let from_initial = encoder.choice_eq(SessionId(1), 0, TxnId::INITIAL);
+        encoder.smt.assert_term(from_initial);
+        assert_eq!(encoder.smt.check(), SmtResult::Sat);
+    }
+}

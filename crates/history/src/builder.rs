@@ -1,0 +1,320 @@
+//! Programmatic construction of histories.
+
+use std::collections::HashMap;
+
+use crate::event::{Event, EventKind};
+use crate::history::{History, Transaction};
+use crate::ids::{KeyId, SessionId, TxnId};
+
+/// Builds a [`History`] incrementally, assigning session-wide event positions
+/// and applying the paper's normalizations:
+///
+/// * a read that reads from a write of its *own* transaction is not an event;
+/// * only the *last* write of a transaction to each key is an event;
+/// * aborted transactions are simply never committed and therefore never
+///   appear in the finished history.
+///
+/// See the [crate-level documentation](crate) for an example.
+#[derive(Debug, Default, Clone)]
+pub struct HistoryBuilder {
+    key_names: Vec<String>,
+    key_index: HashMap<String, KeyId>,
+    session_names: Vec<String>,
+    /// Next event position per session.
+    next_pos: Vec<usize>,
+    /// Committed transactions per session (in commit order).
+    sessions: Vec<Vec<TxnId>>,
+    /// Finished transactions, indexed by id (0 is reserved for t0).
+    committed: Vec<Transaction>,
+    /// Transactions currently being built.
+    open: HashMap<TxnId, OpenTxn>,
+    next_txn: u32,
+}
+
+#[derive(Debug, Clone)]
+struct OpenTxn {
+    session: SessionId,
+    events: Vec<Event>,
+}
+
+impl HistoryBuilder {
+    /// Creates an empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        HistoryBuilder {
+            next_txn: 1, // 0 is t0
+            ..HistoryBuilder::default()
+        }
+    }
+
+    /// Interns a key name.
+    pub fn key(&mut self, name: &str) -> KeyId {
+        if let Some(&id) = self.key_index.get(name) {
+            return id;
+        }
+        let id = KeyId(self.key_names.len() as u32);
+        self.key_names.push(name.to_string());
+        self.key_index.insert(name.to_string(), id);
+        id
+    }
+
+    /// The position the next event recorded in `session` will receive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `session` was not created by this builder.
+    #[must_use]
+    pub fn next_position(&self, session: SessionId) -> usize {
+        self.next_pos[session.index()]
+    }
+
+    /// Creates a new session.
+    pub fn session(&mut self, name: impl Into<String>) -> SessionId {
+        let id = SessionId(self.session_names.len() as u32);
+        self.session_names.push(name.into());
+        self.next_pos.push(0);
+        self.sessions.push(Vec::new());
+        id
+    }
+
+    /// Starts a new transaction in `session`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `session` was not created by this builder.
+    pub fn begin(&mut self, session: SessionId) -> TxnId {
+        assert!(
+            session.index() < self.session_names.len(),
+            "unknown session {session}"
+        );
+        let id = TxnId(self.next_txn);
+        self.next_txn += 1;
+        self.open.insert(
+            id,
+            OpenTxn {
+                session,
+                events: Vec::new(),
+            },
+        );
+        id
+    }
+
+    /// Records a read of `key` by `txn`, reading from `from`.
+    ///
+    /// Reads from the transaction itself are dropped (they are not events in
+    /// the formal model).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `txn` is not an open transaction.
+    pub fn read(&mut self, txn: TxnId, key: &str, from: TxnId) {
+        let key = self.key(key);
+        let open = self.open.get_mut(&txn).expect("transaction is open");
+        if from == txn {
+            return;
+        }
+        let pos = self.next_pos[open.session.index()];
+        self.next_pos[open.session.index()] += 1;
+        open.events.push(Event {
+            key,
+            pos,
+            kind: EventKind::Read { from },
+        });
+    }
+
+    /// Records a write of `key` by `txn`. An earlier write of the same key by
+    /// the same transaction is shadowed (removed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `txn` is not an open transaction.
+    pub fn write(&mut self, txn: TxnId, key: &str) {
+        let key = self.key(key);
+        let open = self.open.get_mut(&txn).expect("transaction is open");
+        // Shadow any earlier write to the same key.
+        open.events
+            .retain(|e| !(e.is_write() && e.key == key));
+        let pos = self.next_pos[open.session.index()];
+        self.next_pos[open.session.index()] += 1;
+        open.events.push(Event {
+            key,
+            pos,
+            kind: EventKind::Write,
+        });
+    }
+
+    /// Commits `txn`, making it part of the history.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `txn` is not an open transaction.
+    pub fn commit(&mut self, txn: TxnId) {
+        let open = self.open.remove(&txn).expect("transaction is open");
+        self.sessions[open.session.index()].push(txn);
+        self.committed.push(Transaction {
+            id: txn,
+            session: Some(open.session),
+            events: open.events,
+        });
+    }
+
+    /// Aborts `txn`, discarding its events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `txn` is not an open transaction.
+    pub fn abort(&mut self, txn: TxnId) {
+        self.open.remove(&txn).expect("transaction is open");
+    }
+
+    /// Finishes the history. Open transactions are treated as aborted.
+    ///
+    /// Transaction identifiers are compacted so that committed transactions
+    /// are numbered consecutively starting at 1 (with reads retargeted
+    /// accordingly); reads from aborted transactions are retargeted to `t0`.
+    #[must_use]
+    pub fn finish(mut self) -> History {
+        self.open.clear();
+
+        // Sort committed transactions by their original id to obtain a stable
+        // numbering, then compact ids.
+        self.committed.sort_by_key(|t| t.id);
+        let mut remap: HashMap<TxnId, TxnId> = HashMap::new();
+        remap.insert(TxnId::INITIAL, TxnId::INITIAL);
+        for (index, txn) in self.committed.iter().enumerate() {
+            remap.insert(txn.id, TxnId(index as u32 + 1));
+        }
+
+        let initial = Transaction {
+            id: TxnId::INITIAL,
+            session: None,
+            events: Vec::new(),
+        };
+        let mut transactions = vec![initial];
+        for txn in &self.committed {
+            let events = txn
+                .events
+                .iter()
+                .map(|e| match e.kind {
+                    EventKind::Read { from } => Event {
+                        key: e.key,
+                        pos: e.pos,
+                        kind: EventKind::Read {
+                            from: remap.get(&from).copied().unwrap_or(TxnId::INITIAL),
+                        },
+                    },
+                    EventKind::Write => *e,
+                })
+                .collect();
+            transactions.push(Transaction {
+                id: remap[&txn.id],
+                session: txn.session,
+                events,
+            });
+        }
+
+        let sessions = self
+            .sessions
+            .iter()
+            .map(|txns| txns.iter().map(|t| remap[t]).collect())
+            .collect();
+
+        History {
+            key_names: self.key_names,
+            key_index: self.key_index,
+            transactions,
+            sessions,
+            session_names: self.session_names,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_normalizes_own_reads_and_shadowed_writes() {
+        let mut b = HistoryBuilder::new();
+        let s = b.session("s");
+        let t = b.begin(s);
+        b.write(t, "x");
+        b.read(t, "x", t); // read-own-write: dropped
+        b.write(t, "x"); // shadows the first write
+        b.write(t, "y");
+        b.commit(t);
+        let h = b.finish();
+        let txn = h.txn(TxnId(1));
+        assert_eq!(txn.events.len(), 2);
+        assert!(txn.events.iter().all(|e| e.is_write()));
+        let x = h.key_id("x").unwrap();
+        let y = h.key_id("y").unwrap();
+        // The shadowing write keeps its own (later) position.
+        assert!(txn.write_position(x).unwrap() > 0);
+        assert!(txn.write_position(y).is_some());
+    }
+
+    #[test]
+    fn aborted_transactions_are_excluded_and_ids_compact() {
+        let mut b = HistoryBuilder::new();
+        let s1 = b.session("s1");
+        let s2 = b.session("s2");
+        let t1 = b.begin(s1);
+        b.write(t1, "x");
+        b.commit(t1);
+        let t2 = b.begin(s2);
+        b.read(t2, "x", t1);
+        b.abort(t2);
+        let t3 = b.begin(s2);
+        b.read(t3, "x", t1);
+        b.commit(t3);
+        let h = b.finish();
+        assert_eq!(h.len(), 3); // t0, t1, t3 (renumbered to t2)
+        assert_eq!(h.session_transactions(SessionId(1)), &[TxnId(2)]);
+        assert!(h.wr(TxnId(1), TxnId(2)));
+    }
+
+    #[test]
+    fn reads_from_aborted_transactions_fall_back_to_initial_state() {
+        let mut b = HistoryBuilder::new();
+        let s1 = b.session("s1");
+        let s2 = b.session("s2");
+        let ta = b.begin(s1);
+        b.write(ta, "x");
+        let tb = b.begin(s2);
+        b.read(tb, "x", ta);
+        b.commit(tb);
+        b.abort(ta);
+        let h = b.finish();
+        let reader = h.txn(TxnId(1));
+        assert_eq!(reader.events[0].read_from(), Some(TxnId::INITIAL));
+    }
+
+    #[test]
+    fn positions_are_session_wide() {
+        let mut b = HistoryBuilder::new();
+        let s = b.session("s");
+        let t1 = b.begin(s);
+        b.read(t1, "x", TxnId::INITIAL);
+        b.write(t1, "x");
+        b.commit(t1);
+        let t2 = b.begin(s);
+        b.read(t2, "x", t1);
+        b.commit(t2);
+        let h = b.finish();
+        assert_eq!(h.txn(TxnId(1)).events[0].pos, 0);
+        assert_eq!(h.txn(TxnId(1)).events[1].pos, 1);
+        assert_eq!(h.txn(TxnId(2)).events[0].pos, 2);
+    }
+
+    #[test]
+    fn open_transactions_are_dropped_at_finish() {
+        let mut b = HistoryBuilder::new();
+        let s = b.session("s");
+        let t1 = b.begin(s);
+        b.write(t1, "x");
+        // never committed
+        let h = b.finish();
+        assert!(h.is_empty());
+    }
+}

@@ -1,0 +1,161 @@
+//! Graphviz DOT rendering of histories, in the style of the paper's figures.
+
+use std::fmt::Write as _;
+
+use crate::graph::DiGraph;
+use crate::history::History;
+use crate::ids::TxnId;
+
+/// Additional edge sets to overlay on a history graph (e.g. the `rw` edges of
+/// a predicted execution, or the `pco` cycle that shows unserializability).
+#[derive(Debug, Default, Clone)]
+pub struct Overlay {
+    /// Extra labelled edges, drawn dashed.
+    pub edges: Vec<(TxnId, TxnId, String)>,
+    /// Caption printed under the graph.
+    pub caption: Option<String>,
+}
+
+/// Renders `history` as a Graphviz DOT digraph. Each transaction becomes a
+/// record-shaped node listing its events; `so` edges are solid, `wr` edges are
+/// labelled with their key, and overlay edges are dashed.
+#[must_use]
+pub fn render(history: &History, overlay: &Overlay) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph history {{");
+    let _ = writeln!(out, "  node [shape=record, fontname=\"monospace\"];");
+
+    for txn in history.transactions() {
+        let mut label = format!("{}", txn.id);
+        if txn.id.is_initial() {
+            label.push_str("\\n(initial state)");
+        } else if let Some(session) = txn.session {
+            let _ = write!(label, " [{}]", history.session_name(session));
+        }
+        for event in &txn.events {
+            let key = history.key_name(event.key);
+            match event.kind {
+                crate::EventKind::Read { from } => {
+                    let _ = write!(label, "\\nread({key}) ⟵ {from}");
+                }
+                crate::EventKind::Write => {
+                    let _ = write!(label, "\\nwrite({key})");
+                }
+            }
+        }
+        let _ = writeln!(out, "  {} [label=\"{}\"];", node_name(txn.id), label);
+    }
+
+    // Session order edges: t0 to the first transaction of each session, then
+    // consecutive transactions within each session.
+    for session in history.sessions() {
+        let txns = history.session_transactions(session);
+        if let Some(&first) = txns.first() {
+            let _ = writeln!(
+                out,
+                "  {} -> {} [label=\"so\"];",
+                node_name(TxnId::INITIAL),
+                node_name(first)
+            );
+        }
+        for pair in txns.windows(2) {
+            let _ = writeln!(
+                out,
+                "  {} -> {} [label=\"so\"];",
+                node_name(pair[0]),
+                node_name(pair[1])
+            );
+        }
+    }
+
+    // Write-read edges.
+    for (writer, reader, key, _pos) in history.wr_tuples() {
+        let _ = writeln!(
+            out,
+            "  {} -> {} [label=\"wr[{}]\", color=blue];",
+            node_name(writer),
+            node_name(reader),
+            history.key_name(key)
+        );
+    }
+
+    for (from, to, label) in &overlay.edges {
+        let _ = writeln!(
+            out,
+            "  {} -> {} [label=\"{}\", style=dashed, color=red];",
+            node_name(*from),
+            node_name(*to),
+            label
+        );
+    }
+
+    if let Some(caption) = &overlay.caption {
+        let _ = writeln!(out, "  label=\"{caption}\";");
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Builds an [`Overlay`] from a graph of extra edges, all sharing one label.
+#[must_use]
+pub fn overlay_from_graph(graph: &DiGraph, label: &str) -> Overlay {
+    Overlay {
+        edges: graph
+            .edge_list()
+            .into_iter()
+            .map(|(a, b)| (a, b, label.to_string()))
+            .collect(),
+        caption: None,
+    }
+}
+
+fn node_name(txn: TxnId) -> String {
+    format!("txn{}", txn.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HistoryBuilder;
+
+    #[test]
+    fn render_contains_transactions_events_and_edges() {
+        let mut b = HistoryBuilder::new();
+        let s1 = b.session("client-1");
+        let t1 = b.begin(s1);
+        b.read(t1, "acct", TxnId::INITIAL);
+        b.write(t1, "acct");
+        b.commit(t1);
+        let h = b.finish();
+        let dot = render(&h, &Overlay::default());
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("read(acct)"));
+        assert!(dot.contains("write(acct)"));
+        assert!(dot.contains("wr[acct]"));
+        assert!(dot.contains("label=\"so\""));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn overlay_edges_are_dashed_and_labelled() {
+        let mut b = HistoryBuilder::new();
+        let s1 = b.session("s1");
+        let s2 = b.session("s2");
+        let t1 = b.begin(s1);
+        b.write(t1, "x");
+        b.commit(t1);
+        let t2 = b.begin(s2);
+        b.read(t2, "x", TxnId::INITIAL);
+        b.write(t2, "x");
+        b.commit(t2);
+        let h = b.finish();
+        let mut rw = DiGraph::new(h.len());
+        rw.add_edge(TxnId(2), TxnId(1));
+        let mut overlay = overlay_from_graph(&rw, "rw");
+        overlay.caption = Some("predicted execution".to_string());
+        let dot = render(&h, &overlay);
+        assert!(dot.contains("style=dashed"));
+        assert!(dot.contains("rw"));
+        assert!(dot.contains("predicted execution"));
+    }
+}

@@ -1,0 +1,83 @@
+//! Read and write events.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{KeyId, TxnId};
+
+/// The kind of an event, together with kind-specific payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EventKind {
+    /// A read of a key; `from` is the transaction whose write the read
+    /// observes ([`TxnId::INITIAL`] for the initial state).
+    Read {
+        /// The writer transaction this read reads from.
+        from: TxnId,
+    },
+    /// A write of a key. Only the *last* write of a transaction to a key is
+    /// kept as an event (earlier writes are shadowed and never observable by
+    /// other transactions).
+    Write,
+}
+
+/// An event inside a transaction.
+///
+/// `pos` is the event's position in its *session*: the paper numbers every
+/// event of a session with monotonically increasing integers so that the
+/// writer-choice function `φ_choice(s, i)` and the prediction boundary
+/// `φ_boundary(s)` can refer to events by position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Event {
+    /// The key this event reads or writes.
+    pub key: KeyId,
+    /// The event's position within its session (0-based, monotonically
+    /// increasing across the session's transactions).
+    pub pos: usize,
+    /// Whether this is a read (and from whom) or a write.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// Whether this is a read event.
+    #[must_use]
+    pub fn is_read(&self) -> bool {
+        matches!(self.kind, EventKind::Read { .. })
+    }
+
+    /// Whether this is a write event.
+    #[must_use]
+    pub fn is_write(&self) -> bool {
+        matches!(self.kind, EventKind::Write)
+    }
+
+    /// The writer this read observes, or `None` for a write event.
+    #[must_use]
+    pub fn read_from(&self) -> Option<TxnId> {
+        match self.kind {
+            EventKind::Read { from } => Some(from),
+            EventKind::Write => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_accessors() {
+        let read = Event {
+            key: KeyId(0),
+            pos: 3,
+            kind: EventKind::Read { from: TxnId(2) },
+        };
+        let write = Event {
+            key: KeyId(1),
+            pos: 4,
+            kind: EventKind::Write,
+        };
+        assert!(read.is_read() && !read.is_write());
+        assert!(write.is_write() && !write.is_read());
+        assert_eq!(read.read_from(), Some(TxnId(2)));
+        assert_eq!(write.read_from(), None);
+    }
+}

@@ -1,0 +1,273 @@
+//! A small directed-graph toolkit over transaction identifiers.
+
+use crate::ids::TxnId;
+
+/// A directed graph whose nodes are the transactions `0..n` of a history.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiGraph {
+    n: usize,
+    /// Adjacency matrix, row-major. `edges[a * n + b]` means `a → b`.
+    edges: Vec<bool>,
+}
+
+impl DiGraph {
+    /// Creates an edgeless graph over `n` nodes.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        DiGraph {
+            n,
+            edges: vec![false; n * n],
+        }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the graph has zero nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Adds the edge `from → to`. Self-loops are recorded as given.
+    pub fn add_edge(&mut self, from: TxnId, to: TxnId) {
+        self.edges[from.index() * self.n + to.index()] = true;
+    }
+
+    /// Whether the edge `from → to` is present.
+    #[must_use]
+    pub fn has_edge(&self, from: TxnId, to: TxnId) -> bool {
+        self.edges[from.index() * self.n + to.index()]
+    }
+
+    /// All edges as `(from, to)` pairs.
+    #[must_use]
+    pub fn edge_list(&self) -> Vec<(TxnId, TxnId)> {
+        let mut edges = Vec::new();
+        for a in 0..self.n {
+            for b in 0..self.n {
+                if self.edges[a * self.n + b] {
+                    edges.push((TxnId(a as u32), TxnId(b as u32)));
+                }
+            }
+        }
+        edges
+    }
+
+    /// Merges all edges of `other` into `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graphs have different node counts.
+    pub fn union_with(&mut self, other: &DiGraph) {
+        assert_eq!(self.n, other.n, "graphs must have the same node count");
+        for (slot, &o) in self.edges.iter_mut().zip(other.edges.iter()) {
+            *slot = *slot || o;
+        }
+    }
+
+    /// Computes the transitive closure (Floyd–Warshall style; the graphs hold
+    /// at most a few dozen transactions).
+    #[must_use]
+    pub fn transitive_closure(&self) -> DiGraph {
+        let mut closure = self.clone();
+        for k in 0..self.n {
+            for i in 0..self.n {
+                if !closure.edges[i * self.n + k] {
+                    continue;
+                }
+                for j in 0..self.n {
+                    if closure.edges[k * self.n + j] {
+                        closure.edges[i * self.n + j] = true;
+                    }
+                }
+            }
+        }
+        closure
+    }
+
+    /// Whether the graph contains a (directed) cycle. Self-loops count.
+    #[must_use]
+    pub fn has_cycle(&self) -> bool {
+        let closure = self.transitive_closure();
+        (0..self.n).any(|i| closure.edges[i * self.n + i])
+    }
+
+    /// A topological order of the nodes, or `None` if the graph is cyclic.
+    #[must_use]
+    pub fn topological_order(&self) -> Option<Vec<TxnId>> {
+        let mut indegree = vec![0usize; self.n];
+        for a in 0..self.n {
+            for b in 0..self.n {
+                if self.edges[a * self.n + b] {
+                    indegree[b] += 1;
+                }
+            }
+        }
+        let mut ready: Vec<usize> = (0..self.n).filter(|&i| indegree[i] == 0).collect();
+        // Prefer smaller ids first for deterministic output.
+        ready.sort_unstable_by(|a, b| b.cmp(a));
+        let mut order = Vec::with_capacity(self.n);
+        while let Some(node) = ready.pop() {
+            order.push(TxnId(node as u32));
+            for b in 0..self.n {
+                if self.edges[node * self.n + b] {
+                    indegree[b] -= 1;
+                    if indegree[b] == 0 {
+                        ready.push(b);
+                        ready.sort_unstable_by(|a, b| b.cmp(a));
+                    }
+                }
+            }
+        }
+        if order.len() == self.n {
+            Some(order)
+        } else {
+            None
+        }
+    }
+
+    /// One cycle of the graph as a list of nodes (each node's successor in the
+    /// list is reachable by one edge, and the last node has an edge back to
+    /// the first), or `None` if the graph is acyclic.
+    #[must_use]
+    pub fn find_cycle(&self) -> Option<Vec<TxnId>> {
+        #[derive(Clone, Copy, PartialEq)]
+        enum Color {
+            White,
+            Gray,
+            Black,
+        }
+
+        fn visit(
+            graph: &DiGraph,
+            node: usize,
+            color: &mut [Color],
+            path: &mut Vec<usize>,
+        ) -> Option<Vec<TxnId>> {
+            color[node] = Color::Gray;
+            path.push(node);
+            for child in 0..graph.n {
+                if !graph.edges[node * graph.n + child] {
+                    continue;
+                }
+                match color[child] {
+                    Color::Gray => {
+                        // The cycle is the suffix of `path` starting at `child`.
+                        let start = path
+                            .iter()
+                            .position(|&p| p == child)
+                            .expect("gray node is on the DFS path");
+                        return Some(path[start..].iter().map(|&p| TxnId(p as u32)).collect());
+                    }
+                    Color::White => {
+                        if let Some(cycle) = visit(graph, child, color, path) {
+                            return Some(cycle);
+                        }
+                    }
+                    Color::Black => {}
+                }
+            }
+            path.pop();
+            color[node] = Color::Black;
+            None
+        }
+
+        let mut color = vec![Color::White; self.n];
+        let mut path = Vec::new();
+        for start in 0..self.n {
+            if color[start] == Color::White {
+                if let Some(cycle) = visit(self, start, &mut color, &mut path) {
+                    return Some(cycle);
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u32) -> TxnId {
+        TxnId(i)
+    }
+
+    #[test]
+    fn closure_and_cycles() {
+        let mut g = DiGraph::new(4);
+        g.add_edge(t(0), t(1));
+        g.add_edge(t(1), t(2));
+        let closure = g.transitive_closure();
+        assert!(closure.has_edge(t(0), t(2)));
+        assert!(!closure.has_edge(t(2), t(0)));
+        assert!(!g.has_cycle());
+        g.add_edge(t(2), t(0));
+        assert!(g.has_cycle());
+    }
+
+    #[test]
+    fn topological_order_respects_edges() {
+        let mut g = DiGraph::new(4);
+        g.add_edge(t(0), t(2));
+        g.add_edge(t(2), t(1));
+        g.add_edge(t(1), t(3));
+        let order = g.topological_order().unwrap();
+        let pos = |x: TxnId| order.iter().position(|&y| y == x).unwrap();
+        assert!(pos(t(0)) < pos(t(2)));
+        assert!(pos(t(2)) < pos(t(1)));
+        assert!(pos(t(1)) < pos(t(3)));
+
+        g.add_edge(t(3), t(0));
+        assert!(g.topological_order().is_none());
+    }
+
+    #[test]
+    fn find_cycle_returns_a_real_cycle() {
+        let mut g = DiGraph::new(5);
+        g.add_edge(t(0), t(1));
+        g.add_edge(t(1), t(2));
+        g.add_edge(t(2), t(3));
+        g.add_edge(t(3), t(1));
+        let cycle = g.find_cycle().expect("graph has a cycle");
+        assert!(cycle.len() >= 2);
+        // Every consecutive pair (and the wrap-around) must be an edge.
+        for i in 0..cycle.len() {
+            let from = cycle[i];
+            let to = cycle[(i + 1) % cycle.len()];
+            assert!(g.has_edge(from, to), "missing edge {from} -> {to} in cycle");
+        }
+    }
+
+    #[test]
+    fn acyclic_graph_has_no_cycle_to_find() {
+        let mut g = DiGraph::new(3);
+        g.add_edge(t(0), t(1));
+        g.add_edge(t(0), t(2));
+        assert!(g.find_cycle().is_none());
+    }
+
+    #[test]
+    fn union_merges_edges() {
+        let mut g1 = DiGraph::new(3);
+        g1.add_edge(t(0), t(1));
+        let mut g2 = DiGraph::new(3);
+        g2.add_edge(t(1), t(2));
+        g1.union_with(&g2);
+        assert!(g1.has_edge(t(0), t(1)));
+        assert!(g1.has_edge(t(1), t(2)));
+        assert_eq!(g1.edge_list().len(), 2);
+    }
+
+    #[test]
+    fn self_loop_is_a_cycle() {
+        let mut g = DiGraph::new(2);
+        g.add_edge(t(1), t(1));
+        assert!(g.has_cycle());
+        assert!(g.topological_order().is_none());
+    }
+}

@@ -1,0 +1,87 @@
+//! Dense identifiers for transactions, sessions and keys.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a transaction within a [`crate::History`].
+///
+/// `TxnId::INITIAL` (index 0) is the special transaction `t0` that represents
+/// the initial state of the data store: it writes the initial value of every
+/// key and is `so`-ordered before every other transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TxnId(pub u32);
+
+impl TxnId {
+    /// The initial-state transaction `t0`.
+    pub const INITIAL: TxnId = TxnId(0);
+
+    /// The dense index of this transaction.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Whether this is the initial-state transaction `t0`.
+    #[must_use]
+    pub fn is_initial(self) -> bool {
+        self == TxnId::INITIAL
+    }
+}
+
+impl std::fmt::Display for TxnId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_initial() {
+            write!(f, "t0")
+        } else {
+            write!(f, "t{}", self.0)
+        }
+    }
+}
+
+/// Identifier of a session (client connection).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SessionId(pub u32);
+
+impl SessionId {
+    /// The dense index of this session.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for SessionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Identifier of an interned key within a [`crate::History`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct KeyId(pub u32);
+
+impl KeyId {
+    /// The dense index of this key.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_transaction_is_id_zero() {
+        assert!(TxnId::INITIAL.is_initial());
+        assert!(!TxnId(3).is_initial());
+        assert_eq!(TxnId::INITIAL.to_string(), "t0");
+        assert_eq!(TxnId(3).to_string(), "t3");
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(SessionId(2).to_string(), "s2");
+        assert_eq!(KeyId(5).index(), 5);
+    }
+}

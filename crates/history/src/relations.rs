@@ -1,0 +1,287 @@
+//! Derived relations over a concrete history: `so`, `wr`, `hb`, arbitration
+//! orders and anti-dependencies (Section 2 of the paper).
+
+use crate::graph::DiGraph;
+use crate::history::History;
+use crate::ids::TxnId;
+
+/// Session-order graph: `t0 → t` for every committed `t`, plus consecutive
+/// edges within each session (the transitive closure then recovers the full
+/// `so` relation).
+#[must_use]
+pub fn so_graph(history: &History) -> DiGraph {
+    let mut graph = DiGraph::new(history.len());
+    for txn in history.committed_transactions() {
+        graph.add_edge(TxnId::INITIAL, txn.id);
+    }
+    for session in history.sessions() {
+        let txns = history.session_transactions(session);
+        for pair in txns.windows(2) {
+            graph.add_edge(pair[0], pair[1]);
+        }
+    }
+    graph
+}
+
+/// Write–read graph: an edge `t1 → t2` whenever some read of `t2` reads from `t1`.
+#[must_use]
+pub fn wr_graph(history: &History) -> DiGraph {
+    let mut graph = DiGraph::new(history.len());
+    for (writer, reader, _key, _pos) in history.wr_tuples() {
+        graph.add_edge(writer, reader);
+    }
+    graph
+}
+
+/// Happens-before: `hb = (so ∪ wr)+`.
+#[must_use]
+pub fn hb_graph(history: &History) -> DiGraph {
+    let mut graph = so_graph(history);
+    graph.union_with(&wr_graph(history));
+    graph.transitive_closure()
+}
+
+/// Causal arbitration order (Equation 2 of the paper):
+/// `ww_causal(t1, t2)` iff both write some key `k` and a third transaction
+/// `t3` reads `k` from `t2` while `hb(t1, t3)`.
+#[must_use]
+pub fn ww_causal_graph(history: &History) -> DiGraph {
+    let hb = hb_graph(history);
+    let mut graph = DiGraph::new(history.len());
+    for key in history.keys() {
+        let writers = history.writers_of(key);
+        for (writer, reader, wr_key, _pos) in history.wr_tuples() {
+            if wr_key != key {
+                continue;
+            }
+            // writer = t2, reader = t3; every other writer t1 of k with hb(t1, t3).
+            for &t1 in &writers {
+                if t1 == writer || t1 == reader {
+                    continue;
+                }
+                if hb.has_edge(t1, reader) {
+                    graph.add_edge(t1, writer);
+                }
+            }
+        }
+    }
+    graph
+}
+
+/// Read-committed arbitration order (Equation 4 of the paper):
+/// `ww_rc(t1, t2)` iff both write some key `k` and a third transaction `t3`
+/// contains a read `β` (of any key, from `t1`) that precedes (in program
+/// order) a read `α` of `k` from `t2`.
+#[must_use]
+pub fn ww_rc_graph(history: &History) -> DiGraph {
+    let mut graph = DiGraph::new(history.len());
+    for t3 in history.committed_transactions() {
+        // For every ordered pair of reads (β at position i) < (α at position j).
+        for beta in t3.events.iter().filter(|e| e.is_read()) {
+            for alpha in t3.events.iter().filter(|e| e.is_read()) {
+                if beta.pos >= alpha.pos {
+                    continue;
+                }
+                let t1 = beta.read_from().expect("beta is a read");
+                let t2 = alpha.read_from().expect("alpha is a read");
+                if t1 == t2 || t1 == t3.id || t2 == t3.id {
+                    continue;
+                }
+                // t1 and t2 must both write the key read by α.
+                let k = alpha.key;
+                let t1_writes_k =
+                    t1.is_initial() || history.txn(t1).write_position(k).is_some();
+                if t1_writes_k {
+                    graph.add_edge(t1, t2);
+                }
+            }
+        }
+    }
+    graph
+}
+
+/// Serializability arbitration order computed against a *given commit order*
+/// (Equation 1): `ww(t1, t2)` iff both write `k`, some `t3` reads `k` from
+/// `t2`, and `co(t1, t3)`.
+#[must_use]
+pub fn ww_graph_for_commit_order(history: &History, commit_positions: &[usize]) -> DiGraph {
+    let mut graph = DiGraph::new(history.len());
+    for key in history.keys() {
+        let writers = history.writers_of(key);
+        for (writer, reader, wr_key, _pos) in history.wr_tuples() {
+            if wr_key != key {
+                continue;
+            }
+            for &t1 in &writers {
+                if t1 == writer || t1 == reader {
+                    continue;
+                }
+                if commit_positions[t1.index()] < commit_positions[reader.index()] {
+                    graph.add_edge(t1, writer);
+                }
+            }
+        }
+    }
+    graph
+}
+
+/// Anti-dependency order with respect to an order relation `before`
+/// (used with `pco` or a concrete commit order):
+/// `rw(t1, t2)` iff `t2` writes some key `k`, some `tw` is the writer `t1`
+/// reads `k` from, and `before(tw, t2)`.
+#[must_use]
+pub fn rw_graph(history: &History, before: &DiGraph) -> DiGraph {
+    let mut graph = DiGraph::new(history.len());
+    for (tw, t1, key, _pos) in history.wr_tuples() {
+        for t2 in history.writers_of(key) {
+            if t2 == t1 || t2 == tw {
+                continue;
+            }
+            if before.has_edge(tw, t2) {
+                graph.add_edge(t1, t2);
+            }
+        }
+    }
+    graph
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HistoryBuilder;
+
+    /// Figure 1a / 2a: t1 reads initial, writes; t2 reads t1, writes. Serializable.
+    fn chained_deposits() -> History {
+        let mut b = HistoryBuilder::new();
+        let s1 = b.session("s1");
+        let s2 = b.session("s2");
+        let t1 = b.begin(s1);
+        b.read(t1, "acct", TxnId::INITIAL);
+        b.write(t1, "acct");
+        b.commit(t1);
+        let t2 = b.begin(s2);
+        b.read(t2, "acct", t1);
+        b.write(t2, "acct");
+        b.commit(t2);
+        b.finish()
+    }
+
+    /// Figure 1b / 3a: both read the initial state. Causal but unserializable.
+    fn racing_deposits() -> History {
+        let mut b = HistoryBuilder::new();
+        let s1 = b.session("s1");
+        let s2 = b.session("s2");
+        let t1 = b.begin(s1);
+        b.read(t1, "acct", TxnId::INITIAL);
+        b.write(t1, "acct");
+        b.commit(t1);
+        let t2 = b.begin(s2);
+        b.read(t2, "acct", TxnId::INITIAL);
+        b.write(t2, "acct");
+        b.commit(t2);
+        b.finish()
+    }
+
+    #[test]
+    fn so_graph_has_initial_edges_and_session_edges() {
+        let h = chained_deposits();
+        let so = so_graph(&h);
+        assert!(so.has_edge(TxnId::INITIAL, TxnId(1)));
+        assert!(so.has_edge(TxnId::INITIAL, TxnId(2)));
+        assert!(!so.has_edge(TxnId(1), TxnId(2)));
+    }
+
+    #[test]
+    fn hb_contains_wr_composition() {
+        let h = chained_deposits();
+        let hb = hb_graph(&h);
+        assert!(hb.has_edge(TxnId::INITIAL, TxnId(2)));
+        assert!(hb.has_edge(TxnId(1), TxnId(2)));
+        assert!(!hb.has_edge(TxnId(2), TxnId(1)));
+    }
+
+    #[test]
+    fn causal_arbitration_of_racing_deposits_orders_writers_before_initial_readers() {
+        let h = racing_deposits();
+        let ww = ww_causal_graph(&h);
+        // t1 writes acct and hb(t1, t1)… no; the relevant instances:
+        // t3 := t1 reads acct from t0 while t2 also writes acct and hb(t2, t1)
+        // does not hold, so ww_causal should be empty here.
+        assert!(ww.edge_list().is_empty());
+
+        // In the chained history, t2 reads from t1 while t0 also writes acct
+        // and hb(t0, t2) holds, so ww_causal(t0, t1).
+        let chained = chained_deposits();
+        let ww = ww_causal_graph(&chained);
+        assert!(ww.has_edge(TxnId::INITIAL, TxnId(1)));
+    }
+
+    #[test]
+    fn rc_arbitration_requires_two_reads_in_one_transaction() {
+        // t3 reads x (from t1) at position i and y (from t2)… build a history
+        // where a transaction reads two keys from different writers.
+        let mut b = HistoryBuilder::new();
+        let s1 = b.session("s1");
+        let s2 = b.session("s2");
+        let t1 = b.begin(s1);
+        b.write(t1, "x");
+        b.commit(t1);
+        let t2 = b.begin(s1);
+        b.write(t2, "x");
+        b.write(t2, "y");
+        b.commit(t2);
+        let t3 = b.begin(s2);
+        b.read(t3, "x", t1); // β: reads from t1
+        b.read(t3, "y", t2); // α: reads y from t2; t1 writes x but not y
+        b.commit(t3);
+        let h = b.finish();
+        let ww = ww_rc_graph(&h);
+        // t1 does not write y, so no ww_rc edge from t1 to t2 via α on y.
+        assert!(!ww.has_edge(TxnId(1), TxnId(2)));
+
+        // Now make α a read of x instead: t3 reads x from t1 then x again from t2.
+        let mut b = HistoryBuilder::new();
+        let s1 = b.session("s1");
+        let s2 = b.session("s2");
+        let t1 = b.begin(s1);
+        b.write(t1, "x");
+        b.commit(t1);
+        let t2 = b.begin(s1);
+        b.write(t2, "x");
+        b.commit(t2);
+        let t3 = b.begin(s2);
+        b.read(t3, "x", t1);
+        b.read(t3, "x", t2);
+        b.commit(t3);
+        let h = b.finish();
+        let ww = ww_rc_graph(&h);
+        assert!(ww.has_edge(TxnId(1), TxnId(2)));
+        assert!(!ww.has_edge(TxnId(2), TxnId(1)));
+    }
+
+    #[test]
+    fn anti_dependencies_of_racing_deposits_form_a_cycle() {
+        // Figure 5: including rw makes pco cyclic for the racing deposits.
+        let h = racing_deposits();
+        let mut pco = so_graph(&h);
+        pco.union_with(&wr_graph(&h));
+        let pco_closed = pco.transitive_closure();
+        let rw = rw_graph(&h, &pco_closed);
+        assert!(rw.has_edge(TxnId(1), TxnId(2)));
+        assert!(rw.has_edge(TxnId(2), TxnId(1)));
+        let mut combined = pco_closed.clone();
+        combined.union_with(&rw);
+        assert!(combined.has_cycle());
+    }
+
+    #[test]
+    fn ww_for_commit_order_matches_equation_one() {
+        let h = chained_deposits();
+        // commit order t0 < t1 < t2.
+        let positions = vec![0, 1, 2];
+        let ww = ww_graph_for_commit_order(&h, &positions);
+        // t0 and t1 both write acct; t2 reads acct from t1; co(t0, t2) holds ⇒ ww(t0, t1).
+        assert!(ww.has_edge(TxnId::INITIAL, TxnId(1)));
+        assert!(!ww.has_edge(TxnId(1), TxnId::INITIAL));
+    }
+}

@@ -1,0 +1,351 @@
+//! Serializable trace format for recorded executions.
+//!
+//! The paper's implementation exchanges "traces containing read and write
+//! events and transaction and session identifiers, including the transaction
+//! that each read reads from". [`Trace`] is that format: a JSON-friendly
+//! mirror of a [`History`] that tools (the store recorder, the predictor, the
+//! validator) can write to and read from disk.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::history::History;
+use crate::ids::TxnId;
+use crate::{EventKind, HistoryBuilder};
+
+/// A single operation of a traced transaction.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(tag = "op", rename_all = "snake_case")]
+pub enum OpTrace {
+    /// A read of `key` observing the write of transaction `from`
+    /// (`0` is the initial state `t0`).
+    Read {
+        /// Key read.
+        key: String,
+        /// Global identifier of the writer transaction.
+        from: u32,
+    },
+    /// A write of `key`.
+    Write {
+        /// Key written.
+        key: String,
+    },
+}
+
+/// A traced transaction.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TxnTrace {
+    /// Globally unique identifier of the transaction within the trace
+    /// (must not be 0, which denotes the initial state).
+    pub id: u32,
+    /// Whether the transaction committed. Aborted transactions are recorded
+    /// for debugging but excluded from the resulting history.
+    pub committed: bool,
+    /// The transaction's operations in program order.
+    pub ops: Vec<OpTrace>,
+}
+
+/// A traced session (client).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SessionTrace {
+    /// Session name (for diagnostics).
+    pub name: String,
+    /// The session's transactions in session order.
+    pub transactions: Vec<TxnTrace>,
+}
+
+/// A recorded execution trace.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace {
+    /// All sessions of the execution.
+    pub sessions: Vec<SessionTrace>,
+}
+
+/// Error converting a [`Trace`] into a [`History`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// Two transactions share the same identifier.
+    DuplicateTxnId(u32),
+    /// A read references a writer transaction that is not in the trace.
+    UnknownWriter {
+        /// The missing writer id.
+        writer: u32,
+        /// The reading transaction id.
+        reader: u32,
+    },
+    /// A transaction used the reserved identifier 0.
+    ReservedId,
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::DuplicateTxnId(id) => write!(f, "duplicate transaction id {id}"),
+            TraceError::UnknownWriter { writer, reader } => {
+                write!(f, "transaction {reader} reads from unknown transaction {writer}")
+            }
+            TraceError::ReservedId => write!(f, "transaction id 0 is reserved for the initial state"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl Trace {
+    /// Converts the trace into a [`History`].
+    ///
+    /// The conversion runs in two passes — transactions are registered first
+    /// and events resolved second — so that a read may observe a transaction
+    /// that appears later in the trace (a forward reference across sessions).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TraceError`] if transaction identifiers are duplicated or a
+    /// read references an unknown writer. Reads from *aborted* transactions
+    /// are retargeted to the initial state (mirroring what the store's
+    /// recorder does when a writer rolls back).
+    pub fn to_history(&self) -> Result<History, TraceError> {
+        let mut builder = HistoryBuilder::new();
+        let mut txn_of_trace_id: HashMap<u32, TxnId> = HashMap::new();
+        let mut committed: HashMap<u32, bool> = HashMap::new();
+        let mut handles: Vec<(TxnId, &TxnTrace)> = Vec::new();
+
+        for session in &self.sessions {
+            let sid = builder.session(session.name.clone());
+            for txn in &session.transactions {
+                if txn.id == 0 {
+                    return Err(TraceError::ReservedId);
+                }
+                if committed.insert(txn.id, txn.committed).is_some() {
+                    return Err(TraceError::DuplicateTxnId(txn.id));
+                }
+                let tid = builder.begin(sid);
+                txn_of_trace_id.insert(txn.id, tid);
+                handles.push((tid, txn));
+            }
+        }
+
+        for (tid, txn) in handles {
+            for op in &txn.ops {
+                match op {
+                    OpTrace::Read { key, from } => {
+                        let writer = if *from == 0 {
+                            TxnId::INITIAL
+                        } else {
+                            match committed.get(from) {
+                                None => {
+                                    return Err(TraceError::UnknownWriter {
+                                        writer: *from,
+                                        reader: txn.id,
+                                    })
+                                }
+                                Some(false) => TxnId::INITIAL,
+                                Some(true) => txn_of_trace_id[from],
+                            }
+                        };
+                        builder.read(tid, key, writer);
+                    }
+                    OpTrace::Write { key } => builder.write(tid, key),
+                }
+            }
+            if txn.committed {
+                builder.commit(tid);
+            } else {
+                builder.abort(tid);
+            }
+        }
+
+        Ok(builder.finish())
+    }
+
+    /// Builds a trace from a history (e.g. to persist a predicted execution).
+    #[must_use]
+    pub fn from_history(history: &History) -> Trace {
+        let sessions = history
+            .sessions()
+            .map(|sid| SessionTrace {
+                name: history.session_name(sid).to_string(),
+                transactions: history
+                    .session_transactions(sid)
+                    .iter()
+                    .map(|&tid| {
+                        let txn = history.txn(tid);
+                        TxnTrace {
+                            id: tid.0,
+                            committed: true,
+                            ops: txn
+                                .events
+                                .iter()
+                                .map(|e| match e.kind {
+                                    EventKind::Read { from } => OpTrace::Read {
+                                        key: history.key_name(e.key).to_string(),
+                                        from: from.0,
+                                    },
+                                    EventKind::Write => OpTrace::Write {
+                                        key: history.key_name(e.key).to_string(),
+                                    },
+                                })
+                                .collect(),
+                        }
+                    })
+                    .collect(),
+            })
+            .collect();
+        Trace { sessions }
+    }
+
+    /// Serializes the trace to pretty-printed JSON.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("trace serialization cannot fail")
+    }
+
+    /// Parses a trace from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying `serde_json` error message if the text is not a
+    /// valid trace document.
+    pub fn from_json(text: &str) -> Result<Trace, String> {
+        serde_json::from_str(text).map_err(|e| e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> Trace {
+        Trace {
+            sessions: vec![
+                SessionTrace {
+                    name: "client-1".to_string(),
+                    transactions: vec![TxnTrace {
+                        id: 1,
+                        committed: true,
+                        ops: vec![
+                            OpTrace::Read {
+                                key: "acct".to_string(),
+                                from: 0,
+                            },
+                            OpTrace::Write {
+                                key: "acct".to_string(),
+                            },
+                        ],
+                    }],
+                },
+                SessionTrace {
+                    name: "client-2".to_string(),
+                    transactions: vec![TxnTrace {
+                        id: 2,
+                        committed: true,
+                        ops: vec![
+                            OpTrace::Read {
+                                key: "acct".to_string(),
+                                from: 1,
+                            },
+                            OpTrace::Write {
+                                key: "acct".to_string(),
+                            },
+                        ],
+                    }],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn trace_round_trips_through_history() {
+        let trace = sample_trace();
+        let history = trace.to_history().expect("valid trace");
+        assert_eq!(history.len(), 3);
+        assert!(history.wr(TxnId(1), TxnId(2)));
+        let back = Trace::from_history(&history);
+        assert_eq!(back.sessions.len(), 2);
+        assert_eq!(back.sessions[1].transactions[0].ops.len(), 2);
+    }
+
+    #[test]
+    fn trace_round_trips_through_json() {
+        let trace = sample_trace();
+        let json = trace.to_json();
+        let parsed = Trace::from_json(&json).expect("valid json");
+        assert_eq!(trace, parsed);
+        assert!(Trace::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn duplicate_ids_are_rejected() {
+        let mut trace = sample_trace();
+        trace.sessions[1].transactions[0].id = 1;
+        assert_eq!(trace.to_history(), Err(TraceError::DuplicateTxnId(1)));
+    }
+
+    #[test]
+    fn reserved_id_is_rejected() {
+        let mut trace = sample_trace();
+        trace.sessions[0].transactions[0].id = 0;
+        assert_eq!(trace.to_history(), Err(TraceError::ReservedId));
+    }
+
+    #[test]
+    fn unknown_writer_is_rejected() {
+        let mut trace = sample_trace();
+        trace.sessions[1].transactions[0].ops[0] = OpTrace::Read {
+            key: "acct".to_string(),
+            from: 99,
+        };
+        assert_eq!(
+            trace.to_history(),
+            Err(TraceError::UnknownWriter { writer: 99, reader: 2 })
+        );
+    }
+
+    #[test]
+    fn reads_from_aborted_writers_fall_back_to_initial() {
+        let mut trace = sample_trace();
+        trace.sessions[0].transactions[0].committed = false;
+        let history = trace.to_history().expect("valid trace");
+        // Only one committed transaction; its read falls back to t0.
+        assert_eq!(history.len(), 2);
+        let txn = history.txn(TxnId(1));
+        assert_eq!(txn.events[0].read_from(), Some(TxnId::INITIAL));
+    }
+
+    #[test]
+    fn forward_references_are_resolved_by_the_two_pass_path() {
+        // Session 1's transaction reads from session 2's transaction, which
+        // appears later in the trace.
+        let trace = Trace {
+            sessions: vec![
+                SessionTrace {
+                    name: "a".to_string(),
+                    transactions: vec![TxnTrace {
+                        id: 1,
+                        committed: true,
+                        ops: vec![OpTrace::Read {
+                            key: "x".to_string(),
+                            from: 2,
+                        }],
+                    }],
+                },
+                SessionTrace {
+                    name: "b".to_string(),
+                    transactions: vec![TxnTrace {
+                        id: 2,
+                        committed: true,
+                        ops: vec![OpTrace::Write {
+                            key: "x".to_string(),
+                        }],
+                    }],
+                },
+            ],
+        };
+        let history = trace.to_history().expect("valid trace");
+        // The reader is builder-id 1 (session a), the writer builder-id 2.
+        assert!(history.wr(TxnId(2), TxnId(1)));
+        let error_display = format!("{}", TraceError::DuplicateTxnId(7));
+        assert!(error_display.contains('7'));
+    }
+}

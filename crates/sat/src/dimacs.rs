@@ -1,0 +1,177 @@
+//! DIMACS CNF parsing and writing.
+//!
+//! DIMACS is the standard interchange format for SAT instances; the
+//! reproduction uses it for debugging (dumping generated constraint systems)
+//! and for differential testing of the solver.
+
+use std::fmt::Write as _;
+
+use crate::literal::{Lit, Var};
+use crate::solver::Solver;
+
+/// Error produced when parsing a DIMACS CNF file fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DimacsError {
+    /// Human-readable description of the problem.
+    pub message: String,
+    /// Line (1-based) where the problem was found.
+    pub line: usize,
+}
+
+impl std::fmt::Display for DimacsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "dimacs parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for DimacsError {}
+
+/// Parses DIMACS CNF text into `(num_vars, clauses)`.
+///
+/// # Errors
+///
+/// Returns a [`DimacsError`] if the header is missing or malformed, a literal
+/// is not an integer, or a literal references a variable beyond the declared
+/// count.
+pub fn parse_dimacs(text: &str) -> Result<(usize, Vec<Vec<Lit>>), DimacsError> {
+    let mut num_vars: Option<usize> = None;
+    let mut clauses: Vec<Vec<Lit>> = Vec::new();
+    let mut current: Vec<Lit> = Vec::new();
+
+    for (line_no, line) in text.lines().enumerate() {
+        let line_no = line_no + 1;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        if line.starts_with('p') {
+            let mut parts = line.split_whitespace();
+            let _p = parts.next();
+            if parts.next() != Some("cnf") {
+                return Err(DimacsError {
+                    message: "expected `p cnf <vars> <clauses>`".to_string(),
+                    line: line_no,
+                });
+            }
+            let vars = parts
+                .next()
+                .and_then(|v| v.parse::<usize>().ok())
+                .ok_or_else(|| DimacsError {
+                    message: "missing variable count".to_string(),
+                    line: line_no,
+                })?;
+            num_vars = Some(vars);
+            continue;
+        }
+        let declared = num_vars.ok_or_else(|| DimacsError {
+            message: "clause before header".to_string(),
+            line: line_no,
+        })?;
+        for token in line.split_whitespace() {
+            let value: i64 = token.parse().map_err(|_| DimacsError {
+                message: format!("invalid literal `{token}`"),
+                line: line_no,
+            })?;
+            if value == 0 {
+                clauses.push(std::mem::take(&mut current));
+            } else {
+                let var_index = value.unsigned_abs() as usize - 1;
+                if var_index >= declared {
+                    return Err(DimacsError {
+                        message: format!("literal {value} exceeds declared variable count"),
+                        line: line_no,
+                    });
+                }
+                current.push(Lit::new(Var::from_index(var_index as u32), value < 0));
+            }
+        }
+    }
+
+    if !current.is_empty() {
+        clauses.push(current);
+    }
+    Ok((num_vars.unwrap_or(0), clauses))
+}
+
+/// Serializes a problem to DIMACS CNF text.
+#[must_use]
+pub fn write_dimacs(num_vars: usize, clauses: &[Vec<Lit>]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "p cnf {} {}", num_vars, clauses.len());
+    for clause in clauses {
+        for lit in clause {
+            let value = lit.var().index() as i64 + 1;
+            let signed = if lit.is_negative() { -value } else { value };
+            let _ = write!(out, "{signed} ");
+        }
+        let _ = writeln!(out, "0");
+    }
+    out
+}
+
+/// Loads a parsed DIMACS problem into a fresh [`Solver`].
+#[must_use]
+pub fn solver_from_dimacs(num_vars: usize, clauses: &[Vec<Lit>]) -> Solver {
+    let mut solver = Solver::new();
+    for _ in 0..num_vars {
+        solver.new_var();
+    }
+    for clause in clauses {
+        solver.add_clause(clause.iter().copied());
+    }
+    solver
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SolveOutcome;
+
+    #[test]
+    fn round_trip_parse_and_write() {
+        let text = "c comment\np cnf 3 2\n1 -2 0\n2 3 0\n";
+        let (vars, clauses) = parse_dimacs(text).expect("valid input parses");
+        assert_eq!(vars, 3);
+        assert_eq!(clauses.len(), 2);
+        let rendered = write_dimacs(vars, &clauses);
+        let (vars2, clauses2) = parse_dimacs(&rendered).expect("round trip parses");
+        assert_eq!(vars, vars2);
+        assert_eq!(clauses, clauses2);
+    }
+
+    #[test]
+    fn parsed_problem_is_solvable() {
+        let text = "p cnf 2 2\n1 0\n-1 2 0\n";
+        let (vars, clauses) = parse_dimacs(text).unwrap();
+        let mut solver = solver_from_dimacs(vars, &clauses);
+        assert_eq!(solver.solve(), SolveOutcome::Sat);
+        let model = solver.model().unwrap();
+        assert!(model.value(Var::from_index(0)));
+        assert!(model.value(Var::from_index(1)));
+    }
+
+    #[test]
+    fn missing_header_is_an_error() {
+        let err = parse_dimacs("1 2 0\n").unwrap_err();
+        assert!(err.message.contains("header"));
+        assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn bad_literal_is_an_error() {
+        let err = parse_dimacs("p cnf 1 1\nfoo 0\n").unwrap_err();
+        assert!(err.message.contains("invalid literal"));
+    }
+
+    #[test]
+    fn out_of_range_literal_is_an_error() {
+        let err = parse_dimacs("p cnf 1 1\n2 0\n").unwrap_err();
+        assert!(err.message.contains("exceeds"));
+    }
+
+    #[test]
+    fn error_display_mentions_line() {
+        let err = parse_dimacs("p cnf 1 1\n2 0\n").unwrap_err();
+        assert!(err.to_string().contains("line 2"));
+    }
+}

@@ -1,0 +1,169 @@
+//! Propositional variables and literals.
+
+use std::fmt;
+
+/// A propositional variable, identified by a dense non-negative index.
+///
+/// Variables are created by [`crate::Solver::new_var`]; their indices are
+/// allocated consecutively starting from zero, which lets the solver use them
+/// directly as array indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(u32);
+
+impl Var {
+    /// Creates a variable from a raw index.
+    ///
+    /// Intended for trace/DIMACS ingestion and tests; normal clients obtain
+    /// variables from [`crate::Solver::new_var`].
+    #[must_use]
+    pub fn from_index(index: u32) -> Self {
+        Var(index)
+    }
+
+    /// Returns the dense index of this variable.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw `u32` index of this variable.
+    #[must_use]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A literal: a variable together with a polarity.
+///
+/// Internally encoded as `2 * var + sign` so that a literal can index arrays
+/// (e.g. watch lists) directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// Creates the positive literal of `var`.
+    #[must_use]
+    pub fn positive(var: Var) -> Self {
+        Lit(var.0 << 1)
+    }
+
+    /// Creates the negative literal of `var`.
+    #[must_use]
+    pub fn negative(var: Var) -> Self {
+        Lit((var.0 << 1) | 1)
+    }
+
+    /// Creates a literal from a variable and a sign (`true` means negated).
+    #[must_use]
+    pub fn new(var: Var, negated: bool) -> Self {
+        if negated {
+            Lit::negative(var)
+        } else {
+            Lit::positive(var)
+        }
+    }
+
+    /// Creates a literal from its dense code (`2 * var + sign`).
+    #[must_use]
+    pub fn from_code(code: u32) -> Self {
+        Lit(code)
+    }
+
+    /// Returns the dense code of this literal.
+    #[must_use]
+    pub fn code(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the variable of this literal.
+    #[must_use]
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// Returns `true` if this literal is negated.
+    #[must_use]
+    pub fn is_negative(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// Returns `true` if this literal is positive.
+    #[must_use]
+    pub fn is_positive(self) -> bool {
+        !self.is_negative()
+    }
+
+    /// Returns the negation of this literal.
+    #[must_use]
+    pub fn negate(self) -> Self {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl std::ops::Not for Lit {
+    type Output = Lit;
+
+    fn not(self) -> Lit {
+        self.negate()
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_negative() {
+            write!(f, "¬{}", self.var())
+        } else {
+            write!(f, "{}", self.var())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_encoding_round_trips() {
+        let v = Var::from_index(7);
+        let p = Lit::positive(v);
+        let n = Lit::negative(v);
+        assert_eq!(p.var(), v);
+        assert_eq!(n.var(), v);
+        assert!(p.is_positive());
+        assert!(n.is_negative());
+        assert_eq!(p.negate(), n);
+        assert_eq!(n.negate(), p);
+        assert_eq!(!p, n);
+        assert_eq!(Lit::from_code(p.code() as u32), p);
+    }
+
+    #[test]
+    fn literal_codes_are_dense() {
+        let v0 = Var::from_index(0);
+        let v1 = Var::from_index(1);
+        assert_eq!(Lit::positive(v0).code(), 0);
+        assert_eq!(Lit::negative(v0).code(), 1);
+        assert_eq!(Lit::positive(v1).code(), 2);
+        assert_eq!(Lit::negative(v1).code(), 3);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let v = Var::from_index(3);
+        assert_eq!(Lit::positive(v).to_string(), "x3");
+        assert_eq!(Lit::negative(v).to_string(), "¬x3");
+    }
+
+    #[test]
+    fn new_respects_sign_flag() {
+        let v = Var::from_index(9);
+        assert_eq!(Lit::new(v, false), Lit::positive(v));
+        assert_eq!(Lit::new(v, true), Lit::negative(v));
+    }
+}

@@ -1,0 +1,84 @@
+//! Satisfying assignments returned by the solver.
+
+use crate::literal::{Lit, Var};
+
+/// A complete satisfying assignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Model {
+    values: Vec<bool>,
+}
+
+impl Model {
+    /// Builds a model from a dense vector of variable values (index = variable index).
+    #[must_use]
+    pub fn from_values(values: Vec<bool>) -> Self {
+        Model { values }
+    }
+
+    /// Number of variables covered by the model.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the model covers no variables.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The truth value of `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` was not part of the solved problem.
+    #[must_use]
+    pub fn value(&self, var: Var) -> bool {
+        self.values[var.index()]
+    }
+
+    /// The truth value of `lit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the literal's variable was not part of the solved problem.
+    #[must_use]
+    pub fn lit_value(&self, lit: Lit) -> bool {
+        self.value(lit.var()) ^ lit.is_negative()
+    }
+
+    /// Iterates over `(variable, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (Var, bool)> + '_ {
+        self.values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (Var::from_index(i as u32), v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_reports_literal_values() {
+        let model = Model::from_values(vec![true, false]);
+        let v0 = Var::from_index(0);
+        let v1 = Var::from_index(1);
+        assert!(model.value(v0));
+        assert!(!model.value(v1));
+        assert!(model.lit_value(Lit::positive(v0)));
+        assert!(!model.lit_value(Lit::negative(v0)));
+        assert!(model.lit_value(Lit::negative(v1)));
+        assert_eq!(model.len(), 2);
+        assert!(!model.is_empty());
+    }
+
+    #[test]
+    fn iter_yields_all_variables() {
+        let model = Model::from_values(vec![true, true, false]);
+        let collected: Vec<(Var, bool)> = model.iter().collect();
+        assert_eq!(collected.len(), 3);
+        assert_eq!(collected[2], (Var::from_index(2), false));
+    }
+}

@@ -1,0 +1,109 @@
+//! Learnt-clause database reduction and the Luby restart sequence.
+
+use crate::clause::ClauseRef;
+use crate::solver::Solver;
+
+/// The `i`-th element (0-based) of the Luby sequence: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
+pub(crate) fn luby(i: u64) -> u64 {
+    // Find the finite subsequence that contains index `i` and the index inside it.
+    let mut size: u64 = 1;
+    let mut seq: u32 = 0;
+    let mut index = i;
+    while size < index + 1 {
+        seq += 1;
+        size = 2 * size + 1;
+    }
+    while size - 1 != index {
+        size = (size - 1) / 2;
+        seq -= 1;
+        index %= size;
+    }
+    1u64 << seq
+}
+
+impl Solver {
+    /// Deletes roughly half of the learnt clauses, preferring to keep clauses
+    /// with low LBD ("glue") and high activity. Clauses that are currently the
+    /// reason of an assignment are never deleted.
+    pub(crate) fn reduce_learnt_db(&mut self) {
+        let locked: Vec<Option<ClauseRef>> = self.reasons.clone();
+        let is_locked = |cref: ClauseRef| locked.iter().any(|r| *r == Some(cref));
+
+        let mut candidates: Vec<(ClauseRef, u32, f64)> = self
+            .db
+            .live_learnt()
+            .map(|(cref, clause)| (cref, clause.lbd, clause.activity))
+            .collect();
+
+        // Keep glue clauses (LBD <= 2) unconditionally.
+        candidates.retain(|&(cref, lbd, _)| lbd > 2 && !is_locked(cref));
+        // Delete the worst half: highest LBD first, then lowest activity.
+        candidates.sort_by(|a, b| {
+            b.1.cmp(&a.1)
+                .then(a.2.partial_cmp(&b.2).unwrap_or(std::cmp::Ordering::Equal))
+        });
+        let to_delete = candidates.len() / 2;
+        for &(cref, _, _) in candidates.iter().take(to_delete) {
+            self.detach_clause(cref);
+            self.db.delete(cref);
+            self.stats.deleted_clauses += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Lit, SolveOutcome, Solver, SolverConfig, Var};
+
+    #[test]
+    fn luby_sequence_prefix_matches_reference() {
+        let expected = [1u64, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        let actual: Vec<u64> = (0..expected.len() as u64).map(luby).collect();
+        assert_eq!(actual, expected);
+    }
+
+    #[test]
+    fn reduction_keeps_problem_solvable() {
+        // Force frequent reductions by setting a tiny learnt limit; the solver
+        // must still decide the instance correctly.
+        let config = SolverConfig {
+            learnt_limit: 2,
+            restart_interval: 10,
+            ..SolverConfig::default()
+        };
+        let mut solver = Solver::with_config(config);
+        let n = 6;
+        let holes = 5;
+        let mut p = vec![vec![Var::from_index(0); holes]; n];
+        for row in &mut p {
+            for slot in row.iter_mut() {
+                *slot = solver.new_var();
+            }
+        }
+        for row in &p {
+            solver.add_clause(row.iter().map(|&v| Lit::positive(v)));
+        }
+        for j in 0..holes {
+            for i1 in 0..n {
+                for i2 in (i1 + 1)..n {
+                    solver.add_clause([Lit::negative(p[i1][j]), Lit::negative(p[i2][j])]);
+                }
+            }
+        }
+        assert_eq!(solver.solve(), SolveOutcome::Unsat);
+    }
+
+    #[test]
+    fn disabling_reduction_is_allowed() {
+        let config = SolverConfig {
+            reduce_db: false,
+            ..SolverConfig::default()
+        };
+        let mut solver = Solver::with_config(config);
+        let a = solver.new_var();
+        solver.add_clause([Lit::positive(a)]);
+        assert_eq!(solver.solve(), SolveOutcome::Sat);
+        assert_eq!(solver.stats().deleted_clauses, 0);
+    }
+}

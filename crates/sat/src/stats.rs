@@ -1,0 +1,67 @@
+//! Solver statistics.
+
+/// Counters describing the work performed by a [`crate::Solver`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Number of decisions made.
+    pub decisions: u64,
+    /// Number of unit propagations performed.
+    pub propagations: u64,
+    /// Number of conflicts encountered (propositional and theory).
+    pub conflicts: u64,
+    /// Number of conflicts reported by the theory.
+    pub theory_conflicts: u64,
+    /// Number of restarts performed.
+    pub restarts: u64,
+    /// Number of learnt clauses deleted by database reduction.
+    pub deleted_clauses: u64,
+    /// Number of problem variables.
+    pub variables: u64,
+    /// Number of problem (non-learnt) clauses added.
+    pub clauses: u64,
+    /// Total number of literal occurrences over the problem clauses added
+    /// (the paper's "# Literals" metric).
+    pub literals: u64,
+}
+
+impl std::fmt::Display for SolverStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "vars={} clauses={} literals={} decisions={} propagations={} conflicts={} (theory {}) restarts={} deleted={}",
+            self.variables,
+            self.clauses,
+            self.literals,
+            self.decisions,
+            self.propagations,
+            self.conflicts,
+            self.theory_conflicts,
+            self.restarts,
+            self.deleted_clauses
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_all_counters() {
+        let stats = SolverStats {
+            decisions: 1,
+            propagations: 2,
+            conflicts: 3,
+            theory_conflicts: 4,
+            restarts: 5,
+            deleted_clauses: 6,
+            variables: 7,
+            clauses: 8,
+            literals: 9,
+        };
+        let s = stats.to_string();
+        for needle in ["vars=7", "clauses=8", "literals=9", "conflicts=3", "theory 4"] {
+            assert!(s.contains(needle), "missing {needle} in {s}");
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! The strict-order theory: keeps asserted `x < y` atoms acyclic.
+
+use std::collections::HashMap;
+
+use isopredict_sat::{Lit, Model, Theory, TheoryResult, Var};
+
+/// A node of the strict-order theory — conceptually an integer-valued symbol
+/// such as `co(t)` or `rank(t1, t2)` whose concrete value never matters, only
+/// its relative order to other nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OrderNode {
+    pub(crate) id: u32,
+}
+
+impl OrderNode {
+    /// The dense identifier of this node.
+    #[must_use]
+    pub fn id(self) -> u32 {
+        self.id
+    }
+}
+
+/// An edge asserted in the theory, remembered for backtracking.
+#[derive(Debug, Clone, Copy)]
+struct AssertedEdge {
+    level: u32,
+    var: Var,
+    from: u32,
+    to: u32,
+}
+
+/// Incremental cycle detection over the graph of asserted `<` atoms.
+///
+/// When the SAT core asserts an atom `a < b` true, the theory adds the edge
+/// `a → b` and searches for a path `b ⇝ a`. If one exists, the cycle
+/// `a → b ⇝ a` is inconsistent and the negations of the atoms along it form
+/// the conflict clause. Negated atoms are ignored (see the crate-level
+/// polarity discussion).
+#[derive(Debug, Default)]
+pub(crate) struct OrderTheory {
+    /// Maps a SAT variable to the edge its positive literal asserts.
+    edge_of_var: HashMap<Var, (u32, u32)>,
+    /// Adjacency list: `adj[node]` = (successor, asserting SAT variable).
+    adj: Vec<Vec<(u32, Var)>>,
+    /// Stack of asserted edges for backtracking.
+    trail: Vec<AssertedEdge>,
+    /// Number of order nodes created.
+    num_nodes: u32,
+}
+
+impl OrderTheory {
+    pub(crate) fn new() -> Self {
+        OrderTheory::default()
+    }
+
+    pub(crate) fn new_node(&mut self) -> OrderNode {
+        let node = OrderNode { id: self.num_nodes };
+        self.num_nodes += 1;
+        self.adj.push(Vec::new());
+        node
+    }
+
+    pub(crate) fn register_atom(&mut self, var: Var, from: OrderNode, to: OrderNode) {
+        self.edge_of_var.insert(var, (from.id, to.id));
+    }
+
+    pub(crate) fn num_nodes(&self) -> u32 {
+        self.num_nodes
+    }
+
+    /// Returns the SAT variables of the edges along a path `from ⇝ to` in the
+    /// current graph, or `None` if no path exists. Depth-first search;
+    /// the graphs involved are small (one node per transaction or per
+    /// transaction pair).
+    fn find_path(&self, from: u32, to: u32) -> Option<Vec<Var>> {
+        let mut stack = vec![(from, Vec::new())];
+        let mut visited = vec![false; self.num_nodes as usize];
+        while let Some((node, path)) = stack.pop() {
+            if node == to {
+                return Some(path);
+            }
+            if visited[node as usize] {
+                continue;
+            }
+            visited[node as usize] = true;
+            for &(succ, var) in &self.adj[node as usize] {
+                if !visited[succ as usize] {
+                    let mut next_path = path.clone();
+                    next_path.push(var);
+                    stack.push((succ, next_path));
+                }
+            }
+        }
+        None
+    }
+
+    fn add_edge(&mut self, var: Var, from: u32, to: u32, level: u32) -> TheoryResult {
+        // Duplicate assertions (possible when the solver re-notifies after a
+        // restart) are ignored.
+        if self
+            .trail
+            .iter()
+            .any(|e| e.var == var && e.from == from && e.to == to)
+        {
+            return TheoryResult::Consistent;
+        }
+        // A conflict exists if the reverse path already exists.
+        if let Some(path_vars) = self.find_path(to, from) {
+            let mut clause: Vec<Lit> = path_vars.into_iter().map(Lit::negative).collect();
+            clause.push(Lit::negative(var));
+            clause.sort_unstable();
+            clause.dedup();
+            return TheoryResult::Conflict(clause);
+        }
+        self.adj[from as usize].push((to, var));
+        self.trail.push(AssertedEdge {
+            level,
+            var,
+            from,
+            to,
+        });
+        TheoryResult::Consistent
+    }
+}
+
+impl Theory for OrderTheory {
+    fn assert_literal(&mut self, lit: Lit, level: u32) -> TheoryResult {
+        if lit.is_negative() {
+            return TheoryResult::Consistent;
+        }
+        let Some(&(from, to)) = self.edge_of_var.get(&lit.var()) else {
+            return TheoryResult::Consistent;
+        };
+        self.add_edge(lit.var(), from, to, level)
+    }
+
+    fn backtrack_to(&mut self, level: u32) {
+        while let Some(edge) = self.trail.last().copied() {
+            if edge.level <= level {
+                break;
+            }
+            self.trail.pop();
+            let adj = &mut self.adj[edge.from as usize];
+            if let Some(pos) = adj
+                .iter()
+                .rposition(|&(to, var)| to == edge.to && var == edge.var)
+            {
+                adj.remove(pos);
+            }
+        }
+    }
+
+    fn final_check(&mut self, _model: &Model) -> TheoryResult {
+        // Eager per-assertion cycle checking keeps the asserted set acyclic at
+        // all times, so there is nothing left to verify here.
+        TheoryResult::Consistent
+    }
+}
+
+/// Computes a topological order of the nodes given the atoms that are true in
+/// `model`. Used to extract concrete commit orders for reporting. Returns
+/// `None` if the true atoms are cyclic (which indicates a solver bug).
+pub(crate) fn topological_positions(
+    num_nodes: u32,
+    edges: &[(u32, u32)],
+) -> Option<Vec<usize>> {
+    let n = num_nodes as usize;
+    let mut indegree = vec![0usize; n];
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for &(from, to) in edges {
+        adj[from as usize].push(to);
+        indegree[to as usize] += 1;
+    }
+    let mut queue: Vec<u32> = (0..num_nodes).filter(|&v| indegree[v as usize] == 0).collect();
+    let mut positions = vec![usize::MAX; n];
+    let mut next_pos = 0;
+    while let Some(node) = queue.pop() {
+        positions[node as usize] = next_pos;
+        next_pos += 1;
+        for &succ in &adj[node as usize] {
+            indegree[succ as usize] -= 1;
+            if indegree[succ as usize] == 0 {
+                queue.push(succ);
+            }
+        }
+    }
+    if next_pos == n {
+        Some(positions)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SmtResult, SmtSolver};
+
+    #[test]
+    fn two_node_cycle_is_unsat() {
+        let mut smt = SmtSolver::new();
+        let a = smt.order_node();
+        let b = smt.order_node();
+        let ab = smt.less(a, b);
+        let ba = smt.less(b, a);
+        smt.assert_term(ab);
+        smt.assert_term(ba);
+        assert_eq!(smt.check(), SmtResult::Unsat);
+    }
+
+    #[test]
+    fn chain_of_lesses_is_sat_and_orders_nodes() {
+        let mut smt = SmtSolver::new();
+        let nodes: Vec<_> = (0..5).map(|_| smt.order_node()).collect();
+        for pair in nodes.windows(2) {
+            let lt = smt.less(pair[0], pair[1]);
+            smt.assert_term(lt);
+        }
+        assert_eq!(smt.check(), SmtResult::Sat);
+        let positions = smt.model_order_positions().expect("sat model has positions");
+        for pair in nodes.windows(2) {
+            assert!(positions[pair[0].id() as usize] < positions[pair[1].id() as usize]);
+        }
+    }
+
+    #[test]
+    fn long_cycle_through_disjunction_forces_the_escape_hatch() {
+        // (a<b) ∧ (b<c) ∧ (c<a ∨ escape): the solver must pick `escape`.
+        let mut smt = SmtSolver::new();
+        let a = smt.order_node();
+        let b = smt.order_node();
+        let c = smt.order_node();
+        let escape = smt.bool_var("escape");
+        let ab = smt.less(a, b);
+        let bc = smt.less(b, c);
+        let ca = smt.less(c, a);
+        let alt = smt.or([ca, escape]);
+        smt.assert_term(ab);
+        smt.assert_term(bc);
+        smt.assert_term(alt);
+        assert_eq!(smt.check(), SmtResult::Sat);
+        assert_eq!(smt.model_bool(escape), Some(true));
+    }
+
+    #[test]
+    fn disconnected_components_do_not_interfere() {
+        let mut smt = SmtSolver::new();
+        let a = smt.order_node();
+        let b = smt.order_node();
+        let c = smt.order_node();
+        let d = smt.order_node();
+        let ab = smt.less(a, b);
+        let cd = smt.less(c, d);
+        let dc = smt.less(d, c);
+        smt.assert_term(ab);
+        // One direction between c and d must be chosen; either is fine and
+        // neither interacts with the a/b component.
+        let either = smt.or([cd, dc]);
+        smt.assert_term(either);
+        assert_eq!(smt.check(), SmtResult::Sat);
+    }
+
+    #[test]
+    fn topological_positions_detects_cycles() {
+        assert!(topological_positions(2, &[(0, 1), (1, 0)]).is_none());
+        let positions = topological_positions(3, &[(0, 1), (1, 2)]).unwrap();
+        assert!(positions[0] < positions[1] && positions[1] < positions[2]);
+    }
+}

@@ -1,0 +1,65 @@
+//! Encoding-size and solving statistics.
+
+/// Size of the constraint system handed to the SAT core, mirroring the
+/// "# Literals" and "Constraint gen." columns of the paper's Tables 4 and 5.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct EncodingStats {
+    /// Number of SAT variables allocated (atoms + Tseitin definitions).
+    pub variables: u64,
+    /// Number of problem clauses generated.
+    pub clauses: u64,
+    /// Total number of literal occurrences over the problem clauses — the
+    /// analogue of the paper's "# Literals" column.
+    pub literals: u64,
+    /// Number of distinct hash-consed terms built.
+    pub terms: u64,
+    /// Number of conflicts the solver went through in `check` calls so far.
+    pub conflicts: u64,
+    /// Number of solver decisions.
+    pub decisions: u64,
+}
+
+impl std::fmt::Display for EncodingStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} vars, {} clauses, {} literals, {} terms ({} conflicts, {} decisions)",
+            self.variables, self.clauses, self.literals, self.terms, self.conflicts, self.decisions
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SmtSolver;
+
+    #[test]
+    fn stats_grow_with_the_encoding() {
+        let mut smt = SmtSolver::new();
+        let a = smt.bool_var("a");
+        let b = smt.bool_var("b");
+        let or = smt.or([a, b]);
+        smt.assert_term(or);
+        let stats = smt.stats();
+        assert!(stats.variables >= 2);
+        assert!(stats.clauses >= 1);
+        assert!(stats.literals >= 2);
+        assert!(stats.terms >= 3);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let stats = EncodingStats {
+            variables: 1,
+            clauses: 2,
+            literals: 3,
+            terms: 4,
+            conflicts: 5,
+            decisions: 6,
+        };
+        let text = stats.to_string();
+        assert!(text.contains("3 literals"));
+        assert!(text.contains("2 clauses"));
+    }
+}

@@ -1,0 +1,187 @@
+//! Tseitin conversion of terms to CNF and polarity checking.
+
+use isopredict_sat::Lit;
+
+use crate::solver::SmtSolver;
+use crate::term::{Term, TermId};
+
+impl SmtSolver {
+    /// Returns the SAT literal representing `term`, generating Tseitin
+    /// definition clauses on first use.
+    pub(crate) fn encode_term(&mut self, term: TermId) -> Lit {
+        if let Some(&lit) = self.lit_of.get(&term) {
+            return lit;
+        }
+        let node = self.pool.get(term).clone();
+        let lit = match node {
+            Term::True => self.true_lit(),
+            Term::False => self.true_lit().negate(),
+            Term::BoolVar(_) | Term::FdEq(_, _) | Term::Less(_, _) => {
+                // Atoms are registered eagerly when they are created, so
+                // reaching this arm means an internal bookkeeping bug.
+                unreachable!("atom without a SAT literal")
+            }
+            Term::Not(inner) => self.encode_term(inner).negate(),
+            Term::And(children) => {
+                let child_lits: Vec<Lit> =
+                    children.iter().map(|&c| self.encode_term(c)).collect();
+                let fresh = Lit::positive(self.sat.new_var());
+                // fresh ⇒ child, for every child
+                for &child in &child_lits {
+                    self.sat.add_clause([fresh.negate(), child]);
+                }
+                // (⋀ children) ⇒ fresh
+                let mut clause: Vec<Lit> = child_lits.iter().map(|c| c.negate()).collect();
+                clause.push(fresh);
+                self.sat.add_clause(clause);
+                fresh
+            }
+            Term::Or(children) => {
+                let child_lits: Vec<Lit> =
+                    children.iter().map(|&c| self.encode_term(c)).collect();
+                let fresh = Lit::positive(self.sat.new_var());
+                // child ⇒ fresh, for every child
+                for &child in &child_lits {
+                    self.sat.add_clause([child.negate(), fresh]);
+                }
+                // fresh ⇒ (⋁ children)
+                let mut clause: Vec<Lit> = child_lits.clone();
+                clause.push(fresh.negate());
+                self.sat.add_clause(clause);
+                fresh
+            }
+        };
+        self.lit_of.insert(term, lit);
+        lit
+    }
+
+    /// Adds `term` to the solver as a top-level assertion.
+    ///
+    /// Conjunctions are flattened and disjunctions become a single clause, so
+    /// asserting the formulas the IsoPredict encoders produce does not create
+    /// unnecessary Tseitin variables at the top level.
+    pub(crate) fn assert_encoded(&mut self, term: TermId) {
+        match self.pool.get(term).clone() {
+            Term::True => {}
+            Term::False => {
+                self.sat.add_clause(std::iter::empty());
+            }
+            Term::And(children) => {
+                for child in children {
+                    self.assert_encoded(child);
+                }
+            }
+            Term::Or(children) => {
+                let clause: Vec<Lit> = children.iter().map(|&c| self.encode_term(c)).collect();
+                self.sat.add_clause(clause);
+            }
+            _ => {
+                let lit = self.encode_term(term);
+                self.sat.add_clause([lit]);
+            }
+        }
+    }
+
+    /// Verifies that every order atom (`Less`) in `term` occurs with positive
+    /// polarity. See the crate-level documentation for why this matters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a `Less` atom occurs under an odd number of negations.
+    pub(crate) fn check_order_polarity(&self, term: TermId) {
+        // Iterative walk carrying the polarity (true = positive).
+        let mut stack = vec![(term, true)];
+        while let Some((id, positive)) = stack.pop() {
+            match self.pool.get(id) {
+                Term::Less(a, b) => {
+                    assert!(
+                        positive,
+                        "order atom {:?} < {:?} used with negative polarity; \
+                         the strict-order theory only supports positive occurrences",
+                        a, b
+                    );
+                }
+                Term::Not(inner) => stack.push((*inner, !positive)),
+                Term::And(children) | Term::Or(children) => {
+                    for &child in children {
+                        stack.push((child, positive));
+                    }
+                }
+                Term::True | Term::False | Term::BoolVar(_) | Term::FdEq(_, _) => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{SmtResult, SmtSolver};
+
+    #[test]
+    fn nested_formula_round_trips_through_tseitin() {
+        // (a ∧ (b ∨ ¬c)) ∨ (¬a ∧ c) with a forced false and c forced true
+        // leaves exactly the right branch.
+        let mut smt = SmtSolver::new();
+        let a = smt.bool_var("a");
+        let b = smt.bool_var("b");
+        let c = smt.bool_var("c");
+        let not_c = smt.not(c);
+        let b_or_not_c = smt.or([b, not_c]);
+        let left = smt.and([a, b_or_not_c]);
+        let not_a = smt.not(a);
+        let right = smt.and([not_a, c]);
+        let formula = smt.or([left, right]);
+        smt.assert_term(formula);
+        let not_a2 = smt.not(a);
+        smt.assert_term(not_a2);
+        smt.assert_term(c);
+        assert_eq!(smt.check(), SmtResult::Sat);
+        assert_eq!(smt.model_bool(a), Some(false));
+        assert_eq!(smt.model_bool(c), Some(true));
+    }
+
+    #[test]
+    fn asserting_false_is_unsat() {
+        let mut smt = SmtSolver::new();
+        let f = smt.false_term();
+        smt.assert_term(f);
+        assert_eq!(smt.check(), SmtResult::Unsat);
+    }
+
+    #[test]
+    fn implication_and_iff_behave_as_expected() {
+        let mut smt = SmtSolver::new();
+        let a = smt.bool_var("a");
+        let b = smt.bool_var("b");
+        let imp = smt.implies(a, b);
+        let iff = smt.iff(a, b);
+        smt.assert_term(imp);
+        smt.assert_term(iff);
+        smt.assert_term(a);
+        assert_eq!(smt.check(), SmtResult::Sat);
+        assert_eq!(smt.model_bool(b), Some(true));
+    }
+
+    #[test]
+    fn deeply_nested_terms_do_not_recurse_excessively() {
+        let mut smt = SmtSolver::new();
+        let mut current = smt.bool_var("x0");
+        for i in 1..200 {
+            let next = smt.bool_var(format!("x{i}"));
+            current = smt.and([current, next]);
+        }
+        smt.assert_term(current);
+        assert_eq!(smt.check(), SmtResult::Sat);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative polarity")]
+    fn negated_order_atom_is_rejected() {
+        let mut smt = SmtSolver::new();
+        let a = smt.order_node();
+        let b = smt.order_node();
+        let lt = smt.less(a, b);
+        let neg = smt.not(lt);
+        smt.assert_term(neg);
+    }
+}

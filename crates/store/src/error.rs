@@ -1,0 +1,38 @@
+//! Store errors.
+
+/// Errors reported by the store engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// An operation was attempted on a transaction that already finished.
+    TransactionFinished,
+    /// A session attempted to begin a transaction while another one was open.
+    TransactionAlreadyOpen,
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::TransactionFinished => {
+                write!(f, "operation on a transaction that already committed or aborted")
+            }
+            StoreError::TransactionAlreadyOpen => {
+                write!(f, "the session already has an open transaction")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_concise() {
+        let finished = StoreError::TransactionFinished.to_string();
+        let open = StoreError::TransactionAlreadyOpen.to_string();
+        assert!(finished.starts_with("operation"));
+        assert!(open.contains("open transaction"));
+    }
+}

@@ -1,0 +1,87 @@
+//! Store execution modes and isolation levels.
+
+use serde::{Deserialize, Serialize};
+
+use crate::replay::ReplayScript;
+
+/// The weak isolation levels supported by the analysis (Section 2 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IsolationLevel {
+    /// Causal consistency.
+    Causal,
+    /// Read committed.
+    ReadCommitted,
+}
+
+impl std::fmt::Display for IsolationLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IsolationLevel::Causal => write!(f, "causal"),
+            IsolationLevel::ReadCommitted => write!(f, "read committed"),
+        }
+    }
+}
+
+/// How the store chooses the writer each read observes.
+#[derive(Debug, Clone)]
+pub enum StoreMode {
+    /// Every read returns the latest committed write; with serial transaction
+    /// execution the recorded history is serializable. Used to produce the
+    /// *observed* executions that feed the predictive analysis.
+    SerializableRecord,
+    /// Every read picks a uniformly random writer among those that keep the
+    /// execution valid under the given isolation level — MonkeyDB's strategy.
+    WeakRandom {
+        /// Target isolation level.
+        level: IsolationLevel,
+        /// Seed for the random writer choices.
+        seed: u64,
+    },
+    /// Every read returns the latest committed write, mimicking a single-node
+    /// MySQL server running in `READ COMMITTED` mode (the paper's "regular
+    /// execution" baseline in Table 7).
+    RealisticRc,
+    /// Reads follow a predicted execution whenever the paper's three
+    /// conditions hold, and fall back to a weak-isolation-conforming writer
+    /// (recording a divergence) when they do not — the validation query
+    /// engine of Section 5.
+    Controlled {
+        /// Target isolation level the validating execution must preserve.
+        level: IsolationLevel,
+        /// The predicted execution to follow.
+        script: ReplayScript,
+    },
+}
+
+impl StoreMode {
+    /// The isolation level this mode maintains, if it is one of the weak modes.
+    #[must_use]
+    pub fn isolation_level(&self) -> Option<IsolationLevel> {
+        match self {
+            StoreMode::SerializableRecord | StoreMode::RealisticRc => None,
+            StoreMode::WeakRandom { level, .. } | StoreMode::Controlled { level, .. } => {
+                Some(*level)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_level_accessors() {
+        assert_eq!(IsolationLevel::Causal.to_string(), "causal");
+        assert_eq!(IsolationLevel::ReadCommitted.to_string(), "read committed");
+        assert_eq!(StoreMode::SerializableRecord.isolation_level(), None);
+        assert_eq!(
+            StoreMode::WeakRandom {
+                level: IsolationLevel::Causal,
+                seed: 1
+            }
+            .isolation_level(),
+            Some(IsolationLevel::Causal)
+        );
+    }
+}

@@ -1,0 +1,161 @@
+//! Replay scripts and divergence tracking for the validation query engine.
+
+use isopredict_history::{History, SessionId, TxnId};
+
+/// What a predicted execution dictates for the reads of one session: a map
+/// from session-wide read position to the predicted writer transaction.
+///
+/// A [`ReplayScript`] is derived from a predicted [`History`]; during
+/// validation the store matches the current session and read position against
+/// the script to decide which writer the read should observe (Section 5).
+#[derive(Debug, Clone, Default)]
+pub struct ReplayScript {
+    /// `choices[session][read position] = (key name, predicted writer)`.
+    /// The writer is identified by `(session index, transaction index within
+    /// the session)` so that it can be resolved against the *validating*
+    /// execution's own transactions; `None` denotes the initial state.
+    choices: Vec<Vec<Option<ReadChoice>>>,
+    /// Session names of the predicted history, for diagnostics.
+    session_names: Vec<String>,
+}
+
+/// One dictated read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadChoice {
+    /// The key the predicted execution read at this position.
+    pub key: String,
+    /// The predicted writer: `None` for the initial state, otherwise the
+    /// writer's (session index, transaction index within that session).
+    pub writer: Option<(usize, usize)>,
+}
+
+impl ReplayScript {
+    /// Builds a script from a predicted history.
+    #[must_use]
+    pub fn from_history(predicted: &History) -> ReplayScript {
+        // Locate every transaction's (session, index-within-session).
+        let locate = |txn: TxnId| -> Option<(usize, usize)> {
+            if txn.is_initial() {
+                return None;
+            }
+            let session = predicted.txn(txn).session?;
+            let index = predicted
+                .session_transactions(session)
+                .iter()
+                .position(|&t| t == txn)?;
+            Some((session.index(), index))
+        };
+
+        let mut choices: Vec<Vec<Option<ReadChoice>>> = Vec::new();
+        let mut session_names = Vec::new();
+        for session in predicted.sessions() {
+            session_names.push(predicted.session_name(session).to_string());
+            let mut per_session: Vec<Option<ReadChoice>> = Vec::new();
+            for &txn_id in predicted.session_transactions(session) {
+                for event in &predicted.txn(txn_id).events {
+                    if let Some(from) = event.read_from() {
+                        if per_session.len() <= event.pos {
+                            per_session.resize(event.pos + 1, None);
+                        }
+                        per_session[event.pos] = Some(ReadChoice {
+                            key: predicted.key_name(event.key).to_string(),
+                            writer: locate(from),
+                        });
+                    }
+                }
+            }
+            choices.push(per_session);
+        }
+        ReplayScript {
+            choices,
+            session_names,
+        }
+    }
+
+    /// The dictated read at `(session, position)`, if the predicted execution
+    /// has one there.
+    #[must_use]
+    pub fn choice(&self, session: SessionId, position: usize) -> Option<&ReadChoice> {
+        self.choices
+            .get(session.index())
+            .and_then(|reads| reads.get(position))
+            .and_then(Option::as_ref)
+    }
+
+    /// Number of sessions covered by the script.
+    #[must_use]
+    pub fn num_sessions(&self) -> usize {
+        self.choices.len()
+    }
+
+    /// The name of a session in the predicted history.
+    #[must_use]
+    pub fn session_name(&self, session: SessionId) -> Option<&str> {
+        self.session_names.get(session.index()).map(String::as_str)
+    }
+}
+
+/// Why a validating execution deviated from the predicted execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DivergenceKind {
+    /// The validating execution read a key the predicted execution did not
+    /// read at this position (or read a different key).
+    DifferentKey,
+    /// The predicted writer did not write this key in the validating
+    /// execution (e.g. it aborted or took a different branch).
+    WriterMissing,
+    /// Reading from the predicted writer would violate the target isolation
+    /// level in the validating execution.
+    IsolationViolation,
+    /// The validating execution issued a read at a position the predicted
+    /// execution has no event for (it ran past the prediction).
+    PastPrediction,
+}
+
+/// A recorded divergence between the predicted and validating executions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// Session in which the divergence occurred.
+    pub session: SessionId,
+    /// Session-wide read position at which it occurred.
+    pub position: usize,
+    /// The kind of mismatch.
+    pub kind: DivergenceKind,
+    /// The key involved.
+    pub key: String,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isopredict_history::HistoryBuilder;
+
+    #[test]
+    fn script_maps_positions_to_predicted_writers() {
+        let mut b = HistoryBuilder::new();
+        let s1 = b.session("s1");
+        let s2 = b.session("s2");
+        let t1 = b.begin(s1);
+        b.write(t1, "x");
+        b.commit(t1);
+        let t2 = b.begin(s2);
+        b.read(t2, "x", t1);
+        b.read(t2, "y", TxnId::INITIAL);
+        b.commit(t2);
+        let predicted = b.finish();
+
+        let script = ReplayScript::from_history(&predicted);
+        assert_eq!(script.num_sessions(), 2);
+        // Session s2's first read (position 0 within that session) observes t1,
+        // which is session 0's transaction 0.
+        let choice = script.choice(SessionId(1), 0).expect("read is scripted");
+        assert_eq!(choice.key, "x");
+        assert_eq!(choice.writer, Some((0, 0)));
+        let second = script.choice(SessionId(1), 1).expect("read is scripted");
+        assert_eq!(second.key, "y");
+        assert_eq!(second.writer, None);
+        // Position 5 has no scripted read.
+        assert!(script.choice(SessionId(1), 5).is_none());
+        assert!(script.choice(SessionId(0), 0).is_none());
+    }
+}

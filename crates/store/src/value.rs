@@ -1,0 +1,89 @@
+//! Values stored under keys.
+
+use serde::{Deserialize, Serialize};
+
+/// A value stored in the data store.
+///
+/// The OLTP-style workloads only need integers (balances, counters) and short
+/// strings (names, page text), so the value type is a small enum rather than
+/// raw bytes; this also keeps recorded traces human-readable.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Value {
+    /// A 64-bit signed integer.
+    Int(i64),
+    /// A UTF-8 string.
+    Str(String),
+}
+
+impl Value {
+    /// Returns the integer payload, if this is an [`Value::Int`].
+    #[must_use]
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Str(_) => None,
+        }
+    }
+
+    /// Returns the string payload, if this is a [`Value::Str`].
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Int(_) => None,
+            Value::Str(s) => Some(s),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(value: i64) -> Self {
+        Value::Int(value)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(value: &str) -> Self {
+        Value::Str(value.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(value: String) -> Self {
+        Value::Str(value)
+    }
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_and_conversions() {
+        let i: Value = 42i64.into();
+        let s: Value = "hello".into();
+        assert_eq!(i.as_int(), Some(42));
+        assert_eq!(i.as_str(), None);
+        assert_eq!(s.as_str(), Some("hello"));
+        assert_eq!(s.as_int(), None);
+        assert_eq!(Value::from("x".to_string()), Value::Str("x".to_string()));
+        assert_eq!(i.to_string(), "42");
+        assert_eq!(s.to_string(), "\"hello\"");
+    }
+
+    #[test]
+    fn values_serialize_to_json() {
+        let v = Value::Int(7);
+        let json = serde_json::to_string(&v).unwrap();
+        let back: Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(v, back);
+    }
+}

@@ -1,0 +1,43 @@
+//! MonkeyDB-style assertion violations.
+//!
+//! MonkeyDB detects unserializable behaviour through programmer-crafted
+//! assertions over the final state (Section 7.3). Each benchmark in this
+//! crate ships the analogous assertions; a violation is *sufficient* (but not
+//! necessary) evidence that the execution was unserializable.
+
+/// A failed assertion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AssertionViolation {
+    /// Short name of the invariant (e.g. `"smallbank.total-balance"`).
+    pub name: String,
+    /// Human-readable details (expected vs. actual).
+    pub details: String,
+}
+
+impl AssertionViolation {
+    /// Creates a violation record.
+    #[must_use]
+    pub fn new(name: impl Into<String>, details: impl Into<String>) -> Self {
+        AssertionViolation {
+            name: name.into(),
+            details: details.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for AssertionViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.name, self.details)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_name_and_details() {
+        let v = AssertionViolation::new("voter.limit", "phone 0 voted 2 times");
+        assert_eq!(v.to_string(), "voter.limit: phone 0 voted 2 times");
+    }
+}

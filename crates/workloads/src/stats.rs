@@ -1,0 +1,104 @@
+//! Workload characteristics (the rows of the paper's Table 3).
+
+use isopredict_history::History;
+
+/// The quantities Table 3 reports for one execution: key–value accesses and
+/// committed transactions.
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct WorkloadCharacteristics {
+    /// Number of read events.
+    pub reads: f64,
+    /// Number of write events.
+    pub writes: f64,
+    /// Number of committed transactions (excluding `t0`).
+    pub committed: f64,
+    /// Number of committed transactions that perform no writes.
+    pub read_only: f64,
+}
+
+impl WorkloadCharacteristics {
+    /// Extracts the characteristics of a single history.
+    #[must_use]
+    pub fn of(history: &History) -> Self {
+        WorkloadCharacteristics {
+            reads: history.num_reads() as f64,
+            writes: history.num_writes() as f64,
+            committed: history.committed_transactions().count() as f64,
+            read_only: history.num_read_only() as f64,
+        }
+    }
+
+    /// Averages the characteristics of several executions (the paper averages
+    /// over ten trials).
+    #[must_use]
+    pub fn average(samples: &[WorkloadCharacteristics]) -> Self {
+        if samples.is_empty() {
+            return WorkloadCharacteristics::default();
+        }
+        let n = samples.len() as f64;
+        WorkloadCharacteristics {
+            reads: samples.iter().map(|s| s.reads).sum::<f64>() / n,
+            writes: samples.iter().map(|s| s.writes).sum::<f64>() / n,
+            committed: samples.iter().map(|s| s.committed).sum::<f64>() / n,
+            read_only: samples.iter().map(|s| s.read_only).sum::<f64>() / n,
+        }
+    }
+}
+
+impl std::fmt::Display for WorkloadCharacteristics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:.1} reads, {:.1} writes, {:.1} committed ({:.1} read-only)",
+            self.reads, self.writes, self.committed, self.read_only
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run, Benchmark, Schedule, WorkloadConfig};
+    use isopredict_store::StoreMode;
+
+    #[test]
+    fn characteristics_reflect_the_history() {
+        let config = WorkloadConfig::small(0);
+        let output = run(
+            Benchmark::Voter,
+            &config,
+            StoreMode::SerializableRecord,
+            &Schedule::RoundRobin,
+        );
+        let chars = WorkloadCharacteristics::of(&output.history);
+        assert!(chars.reads > 0.0);
+        assert!(chars.committed >= chars.read_only);
+        assert_eq!(chars.committed, output.committed.len() as f64);
+    }
+
+    #[test]
+    fn averaging_is_the_arithmetic_mean() {
+        let a = WorkloadCharacteristics {
+            reads: 10.0,
+            writes: 2.0,
+            committed: 4.0,
+            read_only: 1.0,
+        };
+        let b = WorkloadCharacteristics {
+            reads: 20.0,
+            writes: 4.0,
+            committed: 6.0,
+            read_only: 3.0,
+        };
+        let avg = WorkloadCharacteristics::average(&[a, b]);
+        assert_eq!(avg.reads, 15.0);
+        assert_eq!(avg.writes, 3.0);
+        assert_eq!(avg.committed, 5.0);
+        assert_eq!(avg.read_only, 2.0);
+        assert_eq!(
+            WorkloadCharacteristics::average(&[]),
+            WorkloadCharacteristics::default()
+        );
+        assert!(avg.to_string().contains("15.0 reads"));
+    }
+}

@@ -1,0 +1,363 @@
+//! A reduced TPC-C: new-order, payment, order-status, delivery and
+//! stock-level transactions against a single warehouse.
+//!
+//! The paper uses the MonkeyDB port of OLTP-Bench's TPC-C, which translates
+//! the SQL schema to key–value accesses. This module keeps the same
+//! transaction mix and consistency conditions at a smaller scale (the
+//! district/order-id counter and the stock levels are the contended state
+//! whose lost updates the assertions detect).
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use isopredict_store::{Client, Engine, Value};
+
+use crate::assertions::AssertionViolation;
+use crate::config::WorkloadConfig;
+use crate::spec::{PlannedTxn, TxnResult};
+
+/// Initial stock quantity of every item.
+pub const INITIAL_STOCK: i64 = 50;
+
+/// Initial year-to-date amount of the warehouse.
+pub const INITIAL_YTD: i64 = 0;
+
+/// A planned TPC-C transaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TpccTxn {
+    /// Place a new order for a set of `(item, quantity)` pairs in a district.
+    NewOrder {
+        /// District the order is placed in.
+        district: usize,
+        /// Ordered items with quantities.
+        items: Vec<(usize, i64)>,
+    },
+    /// Record a customer payment.
+    Payment {
+        /// District of the customer.
+        district: usize,
+        /// Customer id.
+        customer: usize,
+        /// Payment amount.
+        amount: i64,
+    },
+    /// Look up a customer's most recent order.
+    OrderStatus {
+        /// District of the customer.
+        district: usize,
+        /// Customer id.
+        customer: usize,
+    },
+    /// Deliver the oldest undelivered order of a district.
+    Delivery {
+        /// District to deliver in.
+        district: usize,
+    },
+    /// Count items below a stock threshold.
+    StockLevel {
+        /// District whose recent orders are inspected.
+        district: usize,
+        /// Threshold quantity.
+        threshold: i64,
+    },
+}
+
+fn next_order_key(district: usize) -> String {
+    format!("tpcc:district:{district}:next_o_id")
+}
+
+fn district_ytd_key(district: usize) -> String {
+    format!("tpcc:district:{district}:ytd")
+}
+
+fn warehouse_ytd_key() -> String {
+    "tpcc:warehouse:ytd".to_string()
+}
+
+fn stock_key(item: usize) -> String {
+    format!("tpcc:stock:{item}")
+}
+
+fn item_key(item: usize) -> String {
+    format!("tpcc:item:{item}")
+}
+
+fn customer_balance_key(district: usize, customer: usize) -> String {
+    format!("tpcc:customer:{district}:{customer}:balance")
+}
+
+fn customer_last_order_key(district: usize, customer: usize) -> String {
+    format!("tpcc:customer:{district}:{customer}:last_order")
+}
+
+fn order_key(district: usize, order: i64) -> String {
+    format!("tpcc:order:{district}:{order}")
+}
+
+fn delivered_key(district: usize) -> String {
+    format!("tpcc:district:{district}:delivered")
+}
+
+fn num_items(config: &WorkloadConfig) -> usize {
+    config.scale.max(2) * 2
+}
+
+fn num_districts(config: &WorkloadConfig) -> usize {
+    config.scale.max(2) / 2 + 1
+}
+
+fn num_customers(config: &WorkloadConfig) -> usize {
+    config.scale.max(2)
+}
+
+/// Loads warehouse, district, item, stock and customer rows.
+pub fn setup(engine: &Engine, config: &WorkloadConfig) {
+    engine.set_initial(&warehouse_ytd_key(), INITIAL_YTD.into());
+    for district in 0..num_districts(config) {
+        engine.set_initial(&next_order_key(district), 1i64.into());
+        engine.set_initial(&district_ytd_key(district), INITIAL_YTD.into());
+        engine.set_initial(&delivered_key(district), 0i64.into());
+        for customer in 0..num_customers(config) {
+            engine.set_initial(&customer_balance_key(district, customer), 0i64.into());
+            engine.set_initial(
+                &customer_last_order_key(district, customer),
+                0i64.into(),
+            );
+        }
+    }
+    for item in 0..num_items(config) {
+        engine.set_initial(&item_key(item), Value::Str(format!("item-{item}")));
+        engine.set_initial(&stock_key(item), INITIAL_STOCK.into());
+    }
+}
+
+/// Plans each session's transactions: roughly the TPC-C mix (45% new-order,
+/// 43% payment, and the rest split among the read-heavy transactions).
+#[must_use]
+pub fn plan(config: &WorkloadConfig) -> Vec<Vec<TpccTxn>> {
+    (0..config.sessions)
+        .map(|session| {
+            let mut rng =
+                ChaCha8Rng::seed_from_u64(config.seed ^ (0x79cc_0000 + session as u64) << 8);
+            (0..config.txns_per_session)
+                .map(|_| random_txn(&mut rng, config))
+                .collect()
+        })
+        .collect()
+}
+
+fn random_txn(rng: &mut ChaCha8Rng, config: &WorkloadConfig) -> TpccTxn {
+    let district = rng.gen_range(0..num_districts(config));
+    let customer = rng.gen_range(0..num_customers(config));
+    match rng.gen_range(0..100) {
+        0..=44 => {
+            let count = rng.gen_range(2..=3);
+            let items = (0..count)
+                .map(|_| (rng.gen_range(0..num_items(config)), rng.gen_range(1..5)))
+                .collect();
+            TpccTxn::NewOrder { district, items }
+        }
+        45..=87 => TpccTxn::Payment {
+            district,
+            customer,
+            amount: rng.gen_range(1..500),
+        },
+        88..=91 => TpccTxn::OrderStatus { district, customer },
+        92..=95 => TpccTxn::Delivery { district },
+        _ => TpccTxn::StockLevel {
+            district,
+            threshold: rng.gen_range(10..40),
+        },
+    }
+}
+
+/// Executes one planned transaction.
+pub fn execute(txn: &TpccTxn, client: &Client<'_>) -> TxnResult {
+    let mut t = client.begin();
+    match txn {
+        TpccTxn::NewOrder { district, items } => {
+            // Validate the items exist; TPC-C aborts ~1% of new orders on an
+            // invalid item, which we model as aborting when an item is missing.
+            for (item, _) in items {
+                if t.get(&item_key(*item)).is_none() {
+                    t.rollback();
+                    return TxnResult::Aborted;
+                }
+            }
+            let order_id = t.get_int(&next_order_key(*district), 1);
+            t.put(&next_order_key(*district), order_id + 1);
+            let mut total_qty = 0;
+            for (item, qty) in items {
+                let stock = t.get_int(&stock_key(*item), 0);
+                let new_stock = if stock - qty >= 0 {
+                    stock - qty
+                } else {
+                    stock - qty + 91 // TPC-C's replenishment rule
+                };
+                t.put(&stock_key(*item), new_stock);
+                total_qty += qty;
+            }
+            t.put(
+                &order_key(*district, order_id),
+                Value::Str(format!("qty={total_qty}")),
+            );
+            t.commit();
+            TxnResult::Committed
+        }
+        TpccTxn::Payment {
+            district,
+            customer,
+            amount,
+        } => {
+            let warehouse_ytd = t.get_int(&warehouse_ytd_key(), 0);
+            t.put(&warehouse_ytd_key(), warehouse_ytd + amount);
+            let district_ytd = t.get_int(&district_ytd_key(*district), 0);
+            t.put(&district_ytd_key(*district), district_ytd + amount);
+            let balance = t.get_int(&customer_balance_key(*district, *customer), 0);
+            t.put(
+                &customer_balance_key(*district, *customer),
+                balance - amount,
+            );
+            t.commit();
+            TxnResult::Committed
+        }
+        TpccTxn::OrderStatus { district, customer } => {
+            let last = t.get_int(&customer_last_order_key(*district, *customer), 0);
+            if last > 0 {
+                let _ = t.get(&order_key(*district, last));
+            }
+            let _ = t.get_int(&customer_balance_key(*district, *customer), 0);
+            t.commit();
+            TxnResult::Committed
+        }
+        TpccTxn::Delivery { district } => {
+            let delivered = t.get_int(&delivered_key(*district), 0);
+            let next = t.get_int(&next_order_key(*district), 1);
+            if delivered + 1 >= next {
+                // Nothing to deliver.
+                t.commit();
+                return TxnResult::Committed;
+            }
+            let order = delivered + 1;
+            let _ = t.get(&order_key(*district, order));
+            t.put(&delivered_key(*district), order);
+            t.commit();
+            TxnResult::Committed
+        }
+        TpccTxn::StockLevel {
+            district,
+            threshold,
+        } => {
+            let _ = t.get_int(&next_order_key(*district), 1);
+            let mut low = 0;
+            for item in 0..8 {
+                if t.get_int(&stock_key(item), INITIAL_STOCK) < *threshold {
+                    low += 1;
+                }
+            }
+            let _ = low;
+            t.commit();
+            TxnResult::Committed
+        }
+    }
+}
+
+/// Consistency conditions in the spirit of TPC-C's own checks.
+#[must_use]
+pub fn assertions(
+    engine: &Engine,
+    config: &WorkloadConfig,
+    committed: &[PlannedTxn],
+) -> Vec<AssertionViolation> {
+    let mut violations = Vec::new();
+
+    // Condition 1: each district's next order id advanced exactly once per
+    // committed NewOrder in that district (lost updates shrink it).
+    for district in 0..num_districts(config) {
+        let expected = 1 + committed
+            .iter()
+            .filter(|p| {
+                matches!(p, PlannedTxn::Tpcc(TpccTxn::NewOrder { district: d, .. }) if *d == district)
+            })
+            .count() as i64;
+        let actual = engine.peek_int(&next_order_key(district), 1);
+        if actual != expected {
+            violations.push(AssertionViolation::new(
+                "tpcc.next-order-id",
+                format!("district {district}: expected next_o_id {expected}, found {actual}"),
+            ));
+        }
+    }
+
+    // Condition 2: warehouse YTD equals the sum of district YTDs, and both
+    // equal the total of committed payments.
+    let expected_ytd: i64 = committed
+        .iter()
+        .filter_map(|p| match p {
+            PlannedTxn::Tpcc(TpccTxn::Payment { amount, .. }) => Some(*amount),
+            _ => None,
+        })
+        .sum();
+    let warehouse_ytd = engine.peek_int(&warehouse_ytd_key(), 0);
+    let district_sum: i64 = (0..num_districts(config))
+        .map(|d| engine.peek_int(&district_ytd_key(d), 0))
+        .sum();
+    if warehouse_ytd != expected_ytd {
+        violations.push(AssertionViolation::new(
+            "tpcc.warehouse-ytd",
+            format!("expected warehouse ytd {expected_ytd}, found {warehouse_ytd}"),
+        ));
+    }
+    if district_sum != expected_ytd {
+        violations.push(AssertionViolation::new(
+            "tpcc.district-ytd",
+            format!("expected district ytd sum {expected_ytd}, found {district_sum}"),
+        ));
+    }
+
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run, Benchmark, Schedule};
+    use isopredict_store::StoreMode;
+
+    #[test]
+    fn serializable_runs_satisfy_the_consistency_conditions() {
+        for seed in 0..5 {
+            let config = WorkloadConfig::small(seed);
+            let output = run(
+                Benchmark::Tpcc,
+                &config,
+                StoreMode::SerializableRecord,
+                &Schedule::RoundRobin,
+            );
+            assert!(
+                output.violations.is_empty(),
+                "seed {seed}: {:?}",
+                output.violations
+            );
+        }
+    }
+
+    #[test]
+    fn tpcc_is_write_heavy_compared_to_wikipedia() {
+        let config = WorkloadConfig::small(3);
+        let tpcc = run(
+            Benchmark::Tpcc,
+            &config,
+            StoreMode::SerializableRecord,
+            &Schedule::RoundRobin,
+        );
+        let wikipedia = run(
+            Benchmark::Wikipedia,
+            &config,
+            StoreMode::SerializableRecord,
+            &Schedule::RoundRobin,
+        );
+        assert!(tpcc.history.num_writes() > wikipedia.history.num_writes());
+    }
+}

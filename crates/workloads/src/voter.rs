@@ -1,0 +1,205 @@
+//! The Voter benchmark (Algorithm 3 of the paper).
+//!
+//! Callers vote for contestants, but each phone number may vote at most
+//! [`VOTE_LIMIT`] times. The phone pool is tiny, so under a serializable
+//! execution only the first vote per phone performs writes and every later
+//! transaction is read-only — which is why the paper observes that no
+//! unserializable execution can be *predicted* for Voter under causal
+//! consistency, while read committed (and MonkeyDB's on-the-fly choices)
+//! still exhibit anomalies (Section 7.2/7.3).
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use isopredict_store::{Client, Engine};
+
+use crate::assertions::AssertionViolation;
+use crate::config::WorkloadConfig;
+use crate::spec::{PlannedTxn, TxnResult};
+
+/// Maximum number of votes per phone number.
+pub const VOTE_LIMIT: i64 = 1;
+
+/// Number of contestants (fixed, as in the original benchmark).
+pub const NUM_CONTESTANTS: usize = 6;
+
+/// A planned Voter transaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VoterTxn {
+    /// A vote by `phone` for `contestant`.
+    Vote {
+        /// The caller's phone number (index into the phone pool).
+        phone: usize,
+        /// The contestant voted for.
+        contestant: usize,
+    },
+    /// Read the leaderboard (all contestants' vote counts).
+    Leaderboard,
+}
+
+fn votes_key(contestant: usize) -> String {
+    format!("voter:votes:{contestant}")
+}
+
+fn phone_key(phone: usize) -> String {
+    format!("voter:numvotes:{phone}")
+}
+
+fn contestant_key(contestant: usize) -> String {
+    format!("voter:contestant:{contestant}")
+}
+
+const TOTAL_KEY: &str = "voter:total";
+
+/// Loads contestants and zeroed counters.
+pub fn setup(engine: &Engine, _config: &WorkloadConfig) {
+    for contestant in 0..NUM_CONTESTANTS {
+        engine.set_initial(&contestant_key(contestant), format!("contestant-{contestant}").into());
+        engine.set_initial(&votes_key(contestant), 0i64.into());
+    }
+    engine.set_initial(TOTAL_KEY, 0i64.into());
+}
+
+/// Plans each session's transactions. The phone pool is a single number so
+/// that, as in the paper's runs, only one transaction writes under a
+/// serializable execution.
+#[must_use]
+pub fn plan(config: &WorkloadConfig) -> Vec<Vec<VoterTxn>> {
+    (0..config.sessions)
+        .map(|session| {
+            let mut rng =
+                ChaCha8Rng::seed_from_u64(config.seed ^ (0x707e_0000 + session as u64) << 8);
+            (0..config.txns_per_session)
+                .map(|txn| {
+                    if txn == 0 || rng.gen_bool(0.8) {
+                        VoterTxn::Vote {
+                            phone: 0,
+                            contestant: rng.gen_range(0..NUM_CONTESTANTS),
+                        }
+                    } else {
+                        VoterTxn::Leaderboard
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Executes one planned transaction.
+pub fn execute(txn: &VoterTxn, client: &Client<'_>) -> TxnResult {
+    let mut t = client.begin();
+    match txn {
+        VoterTxn::Vote { phone, contestant } => {
+            // Validate the contestant exists (a read, as in the SQL benchmark).
+            let _ = t.get(&contestant_key(*contestant));
+            let prior = t.get_int(&phone_key(*phone), 0);
+            if prior >= VOTE_LIMIT {
+                // Over the limit: no write (Algorithm 3 simply skips the put).
+                t.commit();
+                return TxnResult::Committed;
+            }
+            t.put(&phone_key(*phone), prior + 1);
+            let votes = t.get_int(&votes_key(*contestant), 0);
+            t.put(&votes_key(*contestant), votes + 1);
+            let total = t.get_int(TOTAL_KEY, 0);
+            t.put(TOTAL_KEY, total + 1);
+            t.commit();
+            TxnResult::Committed
+        }
+        VoterTxn::Leaderboard => {
+            for contestant in 0..NUM_CONTESTANTS {
+                let _ = t.get_int(&votes_key(contestant), 0);
+            }
+            let _ = t.get_int(TOTAL_KEY, 0);
+            t.commit();
+            TxnResult::Committed
+        }
+    }
+}
+
+/// MonkeyDB-style assertions: the per-phone limit is respected and the total
+/// matches the sum of the contestants' counts.
+#[must_use]
+pub fn assertions(
+    engine: &Engine,
+    _config: &WorkloadConfig,
+    _committed: &[PlannedTxn],
+) -> Vec<AssertionViolation> {
+    let mut violations = Vec::new();
+
+    let phone_votes = engine.peek_int(&phone_key(0), 0);
+    if phone_votes > VOTE_LIMIT {
+        violations.push(AssertionViolation::new(
+            "voter.vote-limit",
+            format!("phone 0 recorded {phone_votes} votes (limit {VOTE_LIMIT})"),
+        ));
+    }
+
+    let total = engine.peek_int(TOTAL_KEY, 0);
+    let sum: i64 = (0..NUM_CONTESTANTS)
+        .map(|c| engine.peek_int(&votes_key(c), 0))
+        .sum();
+    if total != sum {
+        violations.push(AssertionViolation::new(
+            "voter.total-consistency",
+            format!("total counter is {total} but contestant votes sum to {sum}"),
+        ));
+    }
+    if sum > VOTE_LIMIT {
+        violations.push(AssertionViolation::new(
+            "voter.too-many-votes",
+            format!("{sum} votes were recorded for a single-phone pool (limit {VOTE_LIMIT})"),
+        ));
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run, Benchmark, Schedule};
+    use isopredict_store::{IsolationLevel, StoreMode};
+
+    #[test]
+    fn serializable_runs_have_exactly_one_writing_transaction() {
+        for seed in 0..5 {
+            let config = WorkloadConfig::small(seed);
+            let output = run(
+                Benchmark::Voter,
+                &config,
+                StoreMode::SerializableRecord,
+                &Schedule::RoundRobin,
+            );
+            assert!(output.violations.is_empty(), "seed {seed}");
+            let writing = output
+                .history
+                .committed_transactions()
+                .filter(|t| !t.is_read_only())
+                .count();
+            assert_eq!(writing, 1, "seed {seed}: Algorithm 3 writes exactly once");
+        }
+    }
+
+    #[test]
+    fn weak_random_execution_can_break_the_vote_limit() {
+        let mut violated = false;
+        for seed in 0..20 {
+            let config = WorkloadConfig::small(seed);
+            let output = run(
+                Benchmark::Voter,
+                &config,
+                StoreMode::WeakRandom {
+                    level: IsolationLevel::ReadCommitted,
+                    seed,
+                },
+                &Schedule::RoundRobin,
+            );
+            if !output.violations.is_empty() {
+                violated = true;
+                break;
+            }
+        }
+        assert!(violated, "weak execution never broke the vote-once invariant");
+    }
+}

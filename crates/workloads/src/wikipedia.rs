@@ -1,0 +1,237 @@
+//! The Wikipedia benchmark: mostly-read page traffic with occasional edits.
+//!
+//! Pages have a latest-revision pointer and per-revision records. Most
+//! transactions fetch a page (several reads); a few update a page, which
+//! bumps the revision counter and installs a new revision. The assertions
+//! check the page/revision linkage, which weak isolation can break by losing
+//! revision-counter updates.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use isopredict_store::{Client, Engine, Value};
+
+use crate::assertions::AssertionViolation;
+use crate::config::WorkloadConfig;
+use crate::spec::{PlannedTxn, TxnResult};
+
+/// A planned Wikipedia transaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WikipediaTxn {
+    /// Fetch a page anonymously (reads only).
+    GetPageAnonymous {
+        /// Page id.
+        page: usize,
+    },
+    /// Fetch a page as a logged-in user (reads the user record too).
+    GetPageAuthenticated {
+        /// Page id.
+        page: usize,
+        /// User id.
+        user: usize,
+    },
+    /// Edit a page: install a new revision and bump the revision pointer.
+    UpdatePage {
+        /// Page id.
+        page: usize,
+        /// Editing user.
+        user: usize,
+    },
+    /// Add a page to a user's watch list.
+    AddToWatchList {
+        /// User id.
+        user: usize,
+        /// Page id.
+        page: usize,
+    },
+}
+
+fn latest_rev_key(page: usize) -> String {
+    format!("wiki:page:{page}:latest_rev")
+}
+
+fn page_text_key(page: usize) -> String {
+    format!("wiki:page:{page}:text")
+}
+
+fn revision_key(page: usize, rev: i64) -> String {
+    format!("wiki:rev:{page}:{rev}")
+}
+
+fn user_key(user: usize) -> String {
+    format!("wiki:user:{user}")
+}
+
+fn user_edits_key(user: usize) -> String {
+    format!("wiki:user:{user}:editcount")
+}
+
+fn watchlist_key(user: usize) -> String {
+    format!("wiki:user:{user}:watchlist")
+}
+
+fn num_pages(config: &WorkloadConfig) -> usize {
+    config.scale.max(2)
+}
+
+fn num_users(config: &WorkloadConfig) -> usize {
+    config.scale.max(2)
+}
+
+/// Loads pages (revision 1) and users.
+pub fn setup(engine: &Engine, config: &WorkloadConfig) {
+    for page in 0..num_pages(config) {
+        engine.set_initial(&latest_rev_key(page), 1i64.into());
+        engine.set_initial(&page_text_key(page), Value::Str(format!("page-{page}-rev-1")));
+        engine.set_initial(&revision_key(page, 1), Value::Str(format!("page-{page}-rev-1")));
+    }
+    for user in 0..num_users(config) {
+        engine.set_initial(&user_key(user), Value::Str(format!("user-{user}")));
+        engine.set_initial(&user_edits_key(user), 0i64.into());
+        engine.set_initial(&watchlist_key(user), 0i64.into());
+    }
+}
+
+/// Plans each session's transactions: ~75% page fetches, ~15% edits, ~10%
+/// watch-list updates, mirroring the read-heavy mix the paper reports
+/// ("Wikipedia … has few writing transactions").
+#[must_use]
+pub fn plan(config: &WorkloadConfig) -> Vec<Vec<WikipediaTxn>> {
+    (0..config.sessions)
+        .map(|session| {
+            let mut rng =
+                ChaCha8Rng::seed_from_u64(config.seed ^ (0x3193_0000 + session as u64) << 8);
+            (0..config.txns_per_session)
+                .map(|_| {
+                    let page = rng.gen_range(0..num_pages(config));
+                    let user = rng.gen_range(0..num_users(config));
+                    match rng.gen_range(0..100) {
+                        0..=44 => WikipediaTxn::GetPageAnonymous { page },
+                        45..=74 => WikipediaTxn::GetPageAuthenticated { page, user },
+                        75..=89 => WikipediaTxn::UpdatePage { page, user },
+                        _ => WikipediaTxn::AddToWatchList { user, page },
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Executes one planned transaction.
+pub fn execute(txn: &WikipediaTxn, client: &Client<'_>) -> TxnResult {
+    let mut t = client.begin();
+    match txn {
+        WikipediaTxn::GetPageAnonymous { page } => {
+            let rev = t.get_int(&latest_rev_key(*page), 1);
+            let _ = t.get(&page_text_key(*page));
+            let _ = t.get(&revision_key(*page, rev));
+            t.commit();
+            TxnResult::Committed
+        }
+        WikipediaTxn::GetPageAuthenticated { page, user } => {
+            let _ = t.get(&user_key(*user));
+            let _ = t.get_int(&user_edits_key(*user), 0);
+            let rev = t.get_int(&latest_rev_key(*page), 1);
+            let _ = t.get(&page_text_key(*page));
+            let _ = t.get(&revision_key(*page, rev));
+            t.commit();
+            TxnResult::Committed
+        }
+        WikipediaTxn::UpdatePage { page, user } => {
+            let rev = t.get_int(&latest_rev_key(*page), 1);
+            let new_rev = rev + 1;
+            let text = format!("page-{page}-rev-{new_rev}");
+            t.put(&revision_key(*page, new_rev), Value::Str(text.clone()));
+            t.put(&page_text_key(*page), Value::Str(text));
+            t.put(&latest_rev_key(*page), new_rev);
+            let edits = t.get_int(&user_edits_key(*user), 0);
+            t.put(&user_edits_key(*user), edits + 1);
+            t.commit();
+            TxnResult::Committed
+        }
+        WikipediaTxn::AddToWatchList { user, page } => {
+            let _ = t.get(&user_key(*user));
+            let count = t.get_int(&watchlist_key(*user), 0);
+            let _ = t.get_int(&latest_rev_key(*page), 1);
+            t.put(&watchlist_key(*user), count + 1);
+            t.commit();
+            TxnResult::Committed
+        }
+    }
+}
+
+/// Assertions: the revision pointer advanced once per committed edit of the
+/// page, and the page text matches the latest revision record.
+#[must_use]
+pub fn assertions(
+    engine: &Engine,
+    config: &WorkloadConfig,
+    committed: &[PlannedTxn],
+) -> Vec<AssertionViolation> {
+    let mut violations = Vec::new();
+    for page in 0..num_pages(config) {
+        let edits = committed
+            .iter()
+            .filter(|p| {
+                matches!(p, PlannedTxn::Wikipedia(WikipediaTxn::UpdatePage { page: q, .. }) if *q == page)
+            })
+            .count() as i64;
+        let expected = 1 + edits;
+        let actual = engine.peek_int(&latest_rev_key(page), 1);
+        if actual != expected {
+            violations.push(AssertionViolation::new(
+                "wikipedia.lost-revision",
+                format!("page {page}: expected latest revision {expected}, found {actual}"),
+            ));
+        }
+        let text = engine.peek(&page_text_key(page));
+        let revision = engine.peek(&revision_key(page, actual));
+        if text != revision {
+            violations.push(AssertionViolation::new(
+                "wikipedia.text-revision-mismatch",
+                format!("page {page}: text {text:?} does not match revision {actual} ({revision:?})"),
+            ));
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run, Benchmark, Schedule};
+    use isopredict_store::StoreMode;
+
+    #[test]
+    fn serializable_runs_keep_pages_consistent() {
+        for seed in 0..5 {
+            let config = WorkloadConfig::small(seed);
+            let output = run(
+                Benchmark::Wikipedia,
+                &config,
+                StoreMode::SerializableRecord,
+                &Schedule::RoundRobin,
+            );
+            assert!(
+                output.violations.is_empty(),
+                "seed {seed}: {:?}",
+                output.violations
+            );
+        }
+    }
+
+    #[test]
+    fn workload_is_read_heavy() {
+        let config = WorkloadConfig::large(1);
+        let output = run(
+            Benchmark::Wikipedia,
+            &config,
+            StoreMode::SerializableRecord,
+            &Schedule::RoundRobin,
+        );
+        assert!(output.history.num_reads() > output.history.num_writes());
+        // Most transactions are read-only, as the paper notes.
+        assert!(output.history.num_read_only() * 2 >= output.history.committed_transactions().count());
+    }
+}
