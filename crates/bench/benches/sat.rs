@@ -16,10 +16,10 @@ fn pigeonhole(solver: &mut Solver, n: usize) {
     for row in &vars {
         solver.add_clause(row.iter().map(|&v| Lit::positive(v)));
     }
-    for hole in 0..holes {
-        for p1 in 0..n {
-            for p2 in (p1 + 1)..n {
-                solver.add_clause([Lit::negative(vars[p1][hole]), Lit::negative(vars[p2][hole])]);
+    for (p1, row1) in vars.iter().enumerate() {
+        for row2 in &vars[p1 + 1..] {
+            for (slot1, slot2) in row1.iter().zip(row2) {
+                solver.add_clause([Lit::negative(*slot1), Lit::negative(*slot2)]);
             }
         }
     }

@@ -32,8 +32,7 @@ fn main() {
                 isolation: IsolationLevel::Causal,
                 ..PredictorConfig::default()
             });
-            if let PredictionOutcome::Prediction(prediction) =
-                predictor.predict(&observed.history)
+            if let PredictionOutcome::Prediction(prediction) = predictor.predict(&observed.history)
             {
                 let name = benchmark.name().to_lowercase().replace('-', "");
                 let observed_dot = render(
@@ -59,7 +58,9 @@ fn main() {
             }
         }
         if !found {
-            println!("{benchmark}: no causal prediction found for seeds 0..10 (expected for Voter)");
+            println!(
+                "{benchmark}: no causal prediction found for seeds 0..10 (expected for Voter)"
+            );
         }
     }
 }

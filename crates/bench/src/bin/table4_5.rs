@@ -1,12 +1,17 @@
 //! Regenerates Tables 4 and 5: IsoPredict's effectiveness and performance
 //! under causal consistency (Table 4) and read committed (Table 5).
 //!
+//! The benchmark × strategy × seed matrix is executed by the orchestrator's
+//! worker pool; results aggregate into the same rows regardless of worker
+//! count.
+//!
 //! Usage:
-//! `cargo run --release -p isopredict-bench --bin table4_5 -- [--isolation causal|rc] [--size small|large] [--seeds N] [--budget N]`
+//! `cargo run --release -p isopredict-bench --bin table4_5 -- [--isolation causal|rc] [--size small|large] [--seeds N] [--budget N] [--workers N]`
 
 use isopredict::{IsolationLevel, Strategy};
 use isopredict_bench::harness::run_experiment;
 use isopredict_bench::tables::PredictionRow;
+use isopredict_orchestrator::WorkerPool;
 use isopredict_workloads::{Benchmark, WorkloadConfig, WorkloadSize};
 
 fn main() {
@@ -19,27 +24,47 @@ fn main() {
         Some("large") => WorkloadSize::Large,
         _ => WorkloadSize::Small,
     };
-    let seeds: u64 = arg(&args, "--seeds").and_then(|v| v.parse().ok()).unwrap_or(10);
+    let seeds: u64 = arg(&args, "--seeds")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10);
     let budget: u64 = arg(&args, "--budget")
         .and_then(|v| v.parse().ok())
         .unwrap_or(2_000_000);
+    let pool = match arg(&args, "--workers").and_then(|v| v.parse().ok()) {
+        Some(workers) => WorkerPool::new(workers),
+        None => WorkerPool::auto(),
+    };
 
     let table = match isolation {
         IsolationLevel::Causal => "Table 4",
         IsolationLevel::ReadCommitted => "Table 5",
     };
-    println!("{table}: prediction under {isolation} ({size} workload, {seeds} seeds)");
+    println!(
+        "{table}: prediction under {isolation} ({size} workload, {seeds} seeds, {} workers)",
+        pool.workers()
+    );
     println!("{}", PredictionRow::header());
 
-    for benchmark in Benchmark::all() {
-        for strategy in Strategy::all() {
-            let results: Vec<_> = (0..seeds)
-                .map(|seed| {
-                    let config = WorkloadConfig::sized(size, seed);
-                    run_experiment(benchmark, &config, strategy, isolation, Some(budget))
-                })
-                .collect();
-            let row = PredictionRow::aggregate(benchmark, strategy, &results);
+    // One experiment per matrix cell, drained by the worker pool; rows then
+    // aggregate over each (benchmark, strategy) slice of the results.
+    let cells: Vec<(Benchmark, Strategy, u64)> = Benchmark::all()
+        .into_iter()
+        .flat_map(|benchmark| {
+            Strategy::all()
+                .into_iter()
+                .flat_map(move |strategy| (0..seeds).map(move |seed| (benchmark, strategy, seed)))
+        })
+        .collect();
+    let results = pool.run(&cells, |_, &(benchmark, strategy, seed)| {
+        let config = WorkloadConfig::sized(size, seed);
+        run_experiment(benchmark, &config, strategy, isolation, Some(budget))
+    });
+
+    let seeds = seeds as usize;
+    for (block, benchmark) in Benchmark::all().into_iter().enumerate() {
+        for (offset, strategy) in Strategy::all().into_iter().enumerate() {
+            let start = (block * Strategy::all().len() + offset) * seeds;
+            let row = PredictionRow::aggregate(benchmark, strategy, &results[start..start + seeds]);
             println!("{}", row.render());
         }
         println!();

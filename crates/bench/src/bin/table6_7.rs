@@ -2,14 +2,29 @@
 //! exploration, IsoPredict, and (for read committed) a "regular execution"
 //! baseline that models a single-node MySQL server.
 //!
+//! Per-seed work (random exploration batches and the IsoPredict pipeline)
+//! runs on the orchestrator's worker pool; counters aggregate identically
+//! regardless of worker count.
+//!
 //! Usage:
-//! `cargo run --release -p isopredict-bench --bin table6_7 -- [--isolation causal|rc] [--size small|large] [--seeds N] [--runs-per-seed N]`
+//! `cargo run --release -p isopredict-bench --bin table6_7 -- [--isolation causal|rc] [--size small|large] [--seeds N] [--runs-per-seed N] [--workers N]`
 
 use isopredict::{IsolationLevel, Strategy};
 use isopredict_bench::harness::{run_experiment, ExperimentOutcome};
 use isopredict_bench::tables::ComparisonRow;
 use isopredict_history::serializability;
+use isopredict_orchestrator::WorkerPool;
 use isopredict_workloads::{run, Benchmark, Schedule, WorkloadConfig, WorkloadSize};
+
+/// Per-(benchmark, seed) tallies produced by one pool task.
+#[derive(Default)]
+struct SeedTally {
+    runs: u64,
+    monkey_fail: u64,
+    monkey_unser: u64,
+    regular_fail: u64,
+    validated: u64,
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -21,10 +36,16 @@ fn main() {
         Some("large") => WorkloadSize::Large,
         _ => WorkloadSize::Small,
     };
-    let seeds: u64 = arg(&args, "--seeds").and_then(|v| v.parse().ok()).unwrap_or(10);
+    let seeds: u64 = arg(&args, "--seeds")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10);
     let runs_per_seed: u64 = arg(&args, "--runs-per-seed")
         .and_then(|v| v.parse().ok())
         .unwrap_or(10);
+    let pool = match arg(&args, "--workers").and_then(|v| v.parse().ok()) {
+        Some(workers) => WorkerPool::new(workers),
+        None => WorkerPool::auto(),
+    };
 
     // The paper uses the best-performing strategy per isolation level:
     // Approx-Relaxed under causal (Table 6), Approx-Strict under rc (Table 7).
@@ -37,61 +58,66 @@ fn main() {
         IsolationLevel::ReadCommitted => "Table 7",
     };
     println!(
-        "{table}: MonkeyDB vs IsoPredict ({strategy}) under {isolation} ({size} workload, {seeds} seeds × {runs_per_seed} runs)"
+        "{table}: MonkeyDB vs IsoPredict ({strategy}) under {isolation} ({size} workload, {seeds} seeds × {runs_per_seed} runs, {} workers)",
+        pool.workers()
     );
     println!(
         "{:<10} {:>7} {:>7} {:>7} {:>7}",
         "Program", "MK-Fail", "MK-Uns", "Iso-Uns", "SQL-Fail"
     );
 
-    for benchmark in Benchmark::all() {
-        let mut monkey_fail = 0u64;
-        let mut monkey_unser = 0u64;
-        let mut regular_fail = 0u64;
-        let mut total = 0u64;
-        for seed in 0..seeds {
-            let config = WorkloadConfig::sized(size, seed);
-            for run_index in 0..runs_per_seed {
-                total += 1;
-                let monkey = run(
+    let cells: Vec<(Benchmark, u64)> = Benchmark::all()
+        .into_iter()
+        .flat_map(|benchmark| (0..seeds).map(move |seed| (benchmark, seed)))
+        .collect();
+    let tallies = pool.run(&cells, |_, &(benchmark, seed)| {
+        let config = WorkloadConfig::sized(size, seed);
+        let mut tally = SeedTally::default();
+        for run_index in 0..runs_per_seed {
+            tally.runs += 1;
+            let monkey = run(
+                benchmark,
+                &config,
+                isopredict_store::StoreMode::WeakRandom {
+                    level: isolation,
+                    seed: seed * 1000 + run_index,
+                },
+                &Schedule::RoundRobin,
+            );
+            if !monkey.violations.is_empty() {
+                tally.monkey_fail += 1;
+            }
+            if !serializability::check(&monkey.history).is_serializable() {
+                tally.monkey_unser += 1;
+            }
+            if isolation == IsolationLevel::ReadCommitted {
+                let regular = run(
                     benchmark,
                     &config,
-                    isopredict_store::StoreMode::WeakRandom {
-                        level: isolation,
+                    isopredict_store::StoreMode::RealisticRc,
+                    &Schedule::Shuffled {
                         seed: seed * 1000 + run_index,
                     },
-                    &Schedule::RoundRobin,
                 );
-                if !monkey.violations.is_empty() {
-                    monkey_fail += 1;
-                }
-                if !serializability::check(&monkey.history).is_serializable() {
-                    monkey_unser += 1;
-                }
-                if isolation == IsolationLevel::ReadCommitted {
-                    let regular = run(
-                        benchmark,
-                        &config,
-                        isopredict_store::StoreMode::RealisticRc,
-                        &Schedule::Shuffled {
-                            seed: seed * 1000 + run_index,
-                        },
-                    );
-                    if !regular.violations.is_empty() {
-                        regular_fail += 1;
-                    }
+                if !regular.violations.is_empty() {
+                    tally.regular_fail += 1;
                 }
             }
         }
+        let result = run_experiment(benchmark, &config, strategy, isolation, Some(2_000_000));
+        if result.outcome == ExperimentOutcome::Validated {
+            tally.validated += 1;
+        }
+        tally
+    });
 
-        let mut validated = 0u64;
-        for seed in 0..seeds {
-            let config = WorkloadConfig::sized(size, seed);
-            let result = run_experiment(benchmark, &config, strategy, isolation, Some(2_000_000));
-            if result.outcome == ExperimentOutcome::Validated {
-                validated += 1;
-            }
-        }
+    for (block, benchmark) in Benchmark::all().into_iter().enumerate() {
+        let slice = &tallies[block * seeds as usize..(block + 1) * seeds as usize];
+        let total: u64 = slice.iter().map(|t| t.runs).sum();
+        let monkey_fail: u64 = slice.iter().map(|t| t.monkey_fail).sum();
+        let monkey_unser: u64 = slice.iter().map(|t| t.monkey_unser).sum();
+        let regular_fail: u64 = slice.iter().map(|t| t.regular_fail).sum();
+        let validated: u64 = slice.iter().map(|t| t.validated).sum();
 
         let row = ComparisonRow {
             benchmark,

@@ -16,7 +16,7 @@
 
 #![deny(missing_docs)]
 
-pub mod harness;
 pub mod tables;
 
-pub use harness::{run_experiment, ExperimentOutcome, ExperimentResult};
+pub use isopredict_orchestrator::harness;
+pub use isopredict_orchestrator::harness::{run_experiment, ExperimentOutcome, ExperimentResult};

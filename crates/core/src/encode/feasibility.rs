@@ -46,9 +46,7 @@ impl Encoder<'_> {
         let reads: Vec<(SessionId, usize, Vec<TxnId>, isopredict_history::KeyId)> = self
             .choice
             .iter()
-            .map(|(&(session, pos), choice)| {
-                (session, pos, choice.candidates.clone(), choice.key)
-            })
+            .map(|(&(session, pos), choice)| (session, pos, choice.candidates.clone(), choice.key))
             .collect();
         for (session, pos, candidates, key) in reads {
             for writer in candidates {
@@ -74,7 +72,7 @@ impl Encoder<'_> {
     /// spuriously, and any superset of the real happens-before only makes the
     /// isolation constraints stronger.
     fn encode_happens_before(&mut self) {
-        let txns: Vec<TxnId> = self.history.transactions().iter().map(|t| t.id).collect();
+        let txns: Vec<TxnId> = crate::encode::active_txns(self.history);
         for &t1 in &txns {
             for &t2 in &txns {
                 if t1 == t2 {

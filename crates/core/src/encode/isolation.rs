@@ -23,7 +23,7 @@ impl Encoder<'_> {
 
     /// `hb(t1, t2) ⇒ co(t1) < co(t2)` for every ordered pair.
     fn encode_hb_in_commit_order(&mut self) {
-        let txns: Vec<TxnId> = self.history.transactions().iter().map(|t| t.id).collect();
+        let txns: Vec<TxnId> = crate::encode::active_txns(self.history);
         for &t1 in &txns {
             for &t2 in &txns {
                 if t1 == t2 {
@@ -43,7 +43,7 @@ impl Encoder<'_> {
     /// `wr_k(t2, t3) ∧ hb(t1, t3) ∧ wrpos_k(t1) < boundary(s1) ⇒ co(t1) < co(t2)`.
     fn encode_causal(&mut self) {
         self.encode_hb_in_commit_order();
-        let txns: Vec<TxnId> = self.history.transactions().iter().map(|t| t.id).collect();
+        let txns: Vec<TxnId> = crate::encode::active_txns(self.history);
         let keys: Vec<_> = self.history.keys().collect();
         for key in keys {
             let writers = self.history.writers_of(key);

@@ -102,6 +102,20 @@ pub(crate) struct Encoder<'h> {
     co_nodes: HashMap<TxnId, OrderNode>,
 }
 
+/// The transactions that participate in the analysis: `t0` plus every
+/// transaction that still has a session or events. Slots emptied by
+/// [`History::restrict`] (component-restricted prediction) are excluded —
+/// they take part in no relation, and enumerating them would blow the
+/// pair/triple constraint sets back up to whole-history size.
+pub(crate) fn active_txns(history: &History) -> Vec<TxnId> {
+    history
+        .transactions()
+        .iter()
+        .filter(|t| t.id.is_initial() || t.session.is_some() || !t.events.is_empty())
+        .map(|t| t.id)
+        .collect()
+}
+
 impl<'h> Encoder<'h> {
     /// Creates the symbol tables for `history`.
     pub(crate) fn new(history: &'h History, boundary_kind: BoundaryKind) -> Self {
@@ -112,7 +126,9 @@ impl<'h> Encoder<'h> {
 
         // φ_choice(s, i): one finite-domain variable per read event.
         for txn in history.committed_transactions() {
-            let session = txn.session.expect("committed transactions have a session");
+            // Transactions dropped by `History::restrict` (component-restricted
+            // prediction) keep their slot but have no session and no events.
+            let Some(session) = txn.session else { continue };
             for event in &txn.events {
                 let Some(observed) = event.read_from() else {
                     continue;
@@ -123,10 +139,7 @@ impl<'h> Encoder<'h> {
                     .filter(|&w| w != txn.id)
                     .collect();
                 debug_assert!(candidates.contains(&observed));
-                let var = smt.fd_var(
-                    format!("choice({session},{})", event.pos),
-                    candidates.len(),
-                );
+                let var = smt.fd_var(format!("choice({session},{})", event.pos), candidates.len());
                 choice.insert(
                     (session, event.pos),
                     ChoiceVar {
@@ -186,14 +199,18 @@ impl<'h> Encoder<'h> {
             );
         }
 
-        // φ_hb(t1, t2): a boolean variable per ordered pair.
-        for t1 in history.transactions() {
-            for t2 in history.transactions() {
-                if t1.id == t2.id {
+        // φ_hb(t1, t2): a boolean variable per ordered pair of *active*
+        // transactions. Slots emptied by `History::restrict` take part in no
+        // relation, so skipping them keeps a component-restricted encoding
+        // proportional to the component, not to the whole history.
+        let active = active_txns(history);
+        for &t1 in &active {
+            for &t2 in &active {
+                if t1 == t2 {
                     continue;
                 }
-                let var = smt.bool_var(format!("hb({},{})", t1.id, t2.id));
-                hb.insert((t1.id, t2.id), var);
+                let var = smt.bool_var(format!("hb({t1},{t2})"));
+                hb.insert((t1, t2), var);
             }
         }
 
@@ -283,7 +300,9 @@ impl<'h> Encoder<'h> {
         let Some(pos) = txn.write_position(key) else {
             return self.smt.false_term();
         };
-        let session = txn.session.expect("non-initial transactions have a session");
+        let session = txn
+            .session
+            .expect("non-initial transactions have a session");
         self.included(session, pos)
     }
 

@@ -36,7 +36,7 @@ impl Encoder<'_> {
     /// Generates the approximate unserializability constraints and returns
     /// the created symbols.
     pub(crate) fn encode_approx_unserializability(&mut self) -> ApproxSymbols {
-        let txns: Vec<TxnId> = self.history.transactions().iter().map(|t| t.id).collect();
+        let txns: Vec<TxnId> = crate::encode::active_txns(self.history);
 
         // Allocate the per-pair boolean variables and rank nodes.
         let mut symbols = ApproxSymbols::default();

@@ -95,6 +95,24 @@ impl Predictor {
         }
     }
 
+    /// Predicts over the restriction of `observed` to the transactions in
+    /// `keep` (plus `t0`): the component-restricted analysis behind
+    /// `isopredict-orchestrator`'s history sharding.
+    ///
+    /// The resulting prediction's transaction identifiers, session
+    /// identifiers and event positions all refer to the *original* observed
+    /// history, so component predictions can be merged back losslessly.
+    ///
+    /// Soundness requires `keep` to be closed under communication: no kept
+    /// transaction may share a key or a session with a dropped one (as
+    /// guaranteed by [`isopredict_history::connectivity::KeyComponents`]).
+    /// Reads whose writer is dropped would otherwise be dropped with it,
+    /// changing the analyzed application behavior.
+    #[must_use]
+    pub fn predict_restricted(&self, observed: &History, keep: &[TxnId]) -> PredictionOutcome {
+        self.predict(&observed.restrict(keep, false))
+    }
+
     /// The approximate strategies: one solver call over the full encoding.
     fn predict_approx(&self, observed: &History) -> PredictionOutcome {
         let gen_start = Instant::now();
@@ -120,8 +138,7 @@ impl Predictor {
             SmtResult::Sat => {
                 let (predicted, boundaries, changed_reads) = extract(&encoder, observed);
                 // Recover the pco cycle that witnesses unserializability.
-                let mut pco_graph =
-                    isopredict_history::graph::DiGraph::new(observed.len());
+                let mut pco_graph = isopredict_history::graph::DiGraph::new(observed.len());
                 for (&(t1, t2), &term) in &symbols.pco {
                     if encoder.smt.model_bool(term) == Some(true) {
                         pco_graph.add_edge(t1, t2);
@@ -184,8 +201,7 @@ impl Predictor {
                     candidates_examined += 1;
                     let (predicted, boundaries, changed_reads) = extract(&encoder, observed);
                     let check_start = Instant::now();
-                    let serializable =
-                        serializability::check(&predicted).is_serializable();
+                    let serializable = serializability::check(&predicted).is_serializable();
                     solving_time += check_start.elapsed();
                     if !serializable {
                         return PredictionOutcome::Prediction(Box::new(Prediction {
@@ -261,8 +277,7 @@ mod tests {
     #[test]
     fn approx_relaxed_predicts_the_motivating_example() {
         let observed = chained_deposits();
-        let outcome =
-            predictor(Strategy::ApproxRelaxed, IsolationLevel::Causal).predict(&observed);
+        let outcome = predictor(Strategy::ApproxRelaxed, IsolationLevel::Causal).predict(&observed);
         let prediction = outcome.prediction().expect("prediction exists");
         assert!(!serializability::check(&prediction.predicted).is_serializable());
         assert!(isopredict_history::causal::is_causal(&prediction.predicted));
@@ -291,8 +306,7 @@ mod tests {
         // prediction; the exact strategy (strict boundary) must agree with
         // Approx-Strict.
         let observed = deposit_withdraw_deposit();
-        let relaxed =
-            predictor(Strategy::ApproxRelaxed, IsolationLevel::Causal).predict(&observed);
+        let relaxed = predictor(Strategy::ApproxRelaxed, IsolationLevel::Causal).predict(&observed);
         assert!(relaxed.is_prediction(), "{relaxed:?}");
 
         let approx_strict =
@@ -309,14 +323,13 @@ mod tests {
     #[test]
     fn voter_like_histories_have_rc_predictions_but_no_causal_ones() {
         let observed = single_writer_history();
-        let causal =
-            predictor(Strategy::ApproxRelaxed, IsolationLevel::Causal).predict(&observed);
+        let causal = predictor(Strategy::ApproxRelaxed, IsolationLevel::Causal).predict(&observed);
         assert!(causal.is_no_prediction());
         // A single read per reader is not enough for an rc anomaly either; the
         // paper's Voter transactions read several keys, which the workload
         // crate models. Here we simply check rc is at least as permissive.
-        let rc = predictor(Strategy::ApproxRelaxed, IsolationLevel::ReadCommitted)
-            .predict(&observed);
+        let rc =
+            predictor(Strategy::ApproxRelaxed, IsolationLevel::ReadCommitted).predict(&observed);
         assert!(rc.is_no_prediction() || rc.is_prediction());
     }
 
@@ -341,6 +354,21 @@ mod tests {
                     "{isolation}: prediction must be unserializable"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn restricted_prediction_matches_whole_history_on_a_closed_component() {
+        // `chained_deposits` is a single communication component, so
+        // restricting to all of its transactions must not change the verdict.
+        let observed = chained_deposits();
+        let keep: Vec<TxnId> = observed.committed_transactions().map(|t| t.id).collect();
+        let predictor = predictor(Strategy::ApproxRelaxed, IsolationLevel::Causal);
+        let whole = predictor.predict(&observed);
+        let restricted = predictor.predict_restricted(&observed, &keep);
+        assert_eq!(whole.is_prediction(), restricted.is_prediction());
+        if let (Some(a), Some(b)) = (whole.prediction(), restricted.prediction()) {
+            assert_eq!(a.changed_reads, b.changed_reads);
         }
     }
 

@@ -76,7 +76,11 @@ impl Prediction {
 pub(crate) fn extract(
     encoder: &Encoder<'_>,
     observed: &History,
-) -> (History, BTreeMap<SessionId, Option<usize>>, Vec<ChangedRead>) {
+) -> (
+    History,
+    BTreeMap<SessionId, Option<usize>>,
+    Vec<ChangedRead>,
+) {
     let mut boundaries = BTreeMap::new();
     for session in observed.sessions() {
         let point = encoder

@@ -132,8 +132,7 @@ impl HistoryBuilder {
         let key = self.key(key);
         let open = self.open.get_mut(&txn).expect("transaction is open");
         // Shadow any earlier write to the same key.
-        open.events
-            .retain(|e| !(e.is_write() && e.key == key));
+        open.events.retain(|e| !(e.is_write() && e.key == key));
         let pos = self.next_pos[open.session.index()];
         self.next_pos[open.session.index()] += 1;
         open.events.push(Event {

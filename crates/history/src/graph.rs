@@ -101,9 +101,9 @@ impl DiGraph {
     pub fn topological_order(&self) -> Option<Vec<TxnId>> {
         let mut indegree = vec![0usize; self.n];
         for a in 0..self.n {
-            for b in 0..self.n {
+            for (b, degree) in indegree.iter_mut().enumerate() {
                 if self.edges[a * self.n + b] {
-                    indegree[b] += 1;
+                    *degree += 1;
                 }
             }
         }
@@ -113,10 +113,10 @@ impl DiGraph {
         let mut order = Vec::with_capacity(self.n);
         while let Some(node) = ready.pop() {
             order.push(TxnId(node as u32));
-            for b in 0..self.n {
+            for (b, degree) in indegree.iter_mut().enumerate() {
                 if self.edges[node * self.n + b] {
-                    indegree[b] -= 1;
-                    if indegree[b] == 0 {
+                    *degree -= 1;
+                    if *degree == 0 {
                         ready.push(b);
                         ready.sort_unstable_by(|a, b| b.cmp(a));
                     }

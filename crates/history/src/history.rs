@@ -364,9 +364,7 @@ impl History {
             let mut events = Vec::new();
             for event in &txn.events {
                 match event.kind {
-                    EventKind::Read { from }
-                        if !from.is_initial() && !keep_set.contains(&from) =>
-                    {
+                    EventKind::Read { from } if !from.is_initial() && !keep_set.contains(&from) => {
                         if retarget_reads {
                             events.push(Event {
                                 key: event.key,
@@ -504,7 +502,10 @@ mod tests {
         assert!(restricted.txn(TxnId(1)).session.is_none());
         let t2 = restricted.txn(TxnId(2));
         assert_eq!(t2.events[0].read_from(), Some(TxnId::INITIAL));
-        assert_eq!(restricted.session_transactions(SessionId(0)), &[] as &[TxnId]);
+        assert_eq!(
+            restricted.session_transactions(SessionId(0)),
+            &[] as &[TxnId]
+        );
 
         let dropped = h.restrict(&[TxnId(2)], false);
         let t2 = dropped.txn(TxnId(2));

@@ -47,6 +47,7 @@
 #![deny(unsafe_code)]
 
 pub mod causal;
+pub mod connectivity;
 pub mod dot;
 pub mod graph;
 pub mod readcommitted;
@@ -60,6 +61,7 @@ mod history;
 mod ids;
 
 pub use builder::HistoryBuilder;
+pub use connectivity::{KeyComponents, UnionFind};
 pub use event::{Event, EventKind};
 pub use history::{History, Transaction};
 pub use ids::{KeyId, SessionId, TxnId};

@@ -45,7 +45,11 @@ mod tests {
             b.write(t1, "acct");
             b.commit(t1);
             let t2 = b.begin(s2);
-            let from = if second_reads_initial { TxnId::INITIAL } else { t1 };
+            let from = if second_reads_initial {
+                TxnId::INITIAL
+            } else {
+                t1
+            };
             b.read(t2, "acct", from);
             b.write(t2, "acct");
             b.commit(t2);

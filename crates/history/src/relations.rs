@@ -89,8 +89,7 @@ pub fn ww_rc_graph(history: &History) -> DiGraph {
                 }
                 // t1 and t2 must both write the key read by α.
                 let k = alpha.key;
-                let t1_writes_k =
-                    t1.is_initial() || history.txn(t1).write_position(k).is_some();
+                let t1_writes_k = t1.is_initial() || history.txn(t1).write_position(k).is_some();
                 if t1_writes_k {
                     graph.add_edge(t1, t2);
                 }

@@ -47,9 +47,9 @@ pub fn check(history: &History) -> SerializabilityResult {
     let mut solver = Solver::new();
     // ord[a][b] for a < b: true means "a commits before b".
     let mut ord = vec![vec![None::<Var>; n]; n];
-    for a in 0..n {
-        for b in (a + 1)..n {
-            ord[a][b] = Some(solver.new_var());
+    for (a, row) in ord.iter_mut().enumerate() {
+        for slot in row.iter_mut().skip(a + 1) {
+            *slot = Some(solver.new_var());
         }
     }
     // co(a, b) as a literal, for any ordered pair of distinct transactions.
@@ -137,7 +137,7 @@ pub fn commit_order_is_valid(history: &History, order: &[TxnId]) -> bool {
     for (pos, &txn) in order.iter().enumerate() {
         positions[txn.index()] = pos;
     }
-    if positions.iter().any(|&p| p == usize::MAX) {
+    if positions.contains(&usize::MAX) {
         return false;
     }
     // hb ⊆ co.

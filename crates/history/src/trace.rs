@@ -83,9 +83,14 @@ impl std::fmt::Display for TraceError {
         match self {
             TraceError::DuplicateTxnId(id) => write!(f, "duplicate transaction id {id}"),
             TraceError::UnknownWriter { writer, reader } => {
-                write!(f, "transaction {reader} reads from unknown transaction {writer}")
+                write!(
+                    f,
+                    "transaction {reader} reads from unknown transaction {writer}"
+                )
             }
-            TraceError::ReservedId => write!(f, "transaction id 0 is reserved for the initial state"),
+            TraceError::ReservedId => {
+                write!(f, "transaction id 0 is reserved for the initial state")
+            }
         }
     }
 }
@@ -298,7 +303,10 @@ mod tests {
         };
         assert_eq!(
             trace.to_history(),
-            Err(TraceError::UnknownWriter { writer: 99, reader: 2 })
+            Err(TraceError::UnknownWriter {
+                writer: 99,
+                reader: 2
+            })
         );
     }
 

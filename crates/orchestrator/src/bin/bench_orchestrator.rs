@@ -1,0 +1,160 @@
+//! Measures campaign throughput and parallel speedup at 1/2/4/8 workers and
+//! emits the machine-readable `BENCH_orchestrator.json` used to track the
+//! performance trajectory across PRs.
+//!
+//! The measured campaign is the small Smallbank + Voter matrix (both
+//! isolation levels, Approx-Relaxed). Besides timing, the run re-checks the
+//! determinism contract: every worker count must produce byte-identical
+//! deterministic reports.
+//!
+//! Usage:
+//! `cargo run --release -p isopredict-orchestrator --bin bench_orchestrator -- \
+//!     [--seeds N] [--workers 1,2,4,8] [--budget N] [--out PATH]`
+
+use serde::Serialize;
+
+use isopredict::{IsolationLevel, Strategy};
+use isopredict_orchestrator::{Campaign, CampaignOptions, ShardPolicy};
+use isopredict_workloads::Benchmark;
+
+/// One worker-count measurement.
+#[derive(Debug, Serialize)]
+struct WorkerPoint {
+    /// Worker threads used.
+    workers: usize,
+    /// Campaign wall-clock time in microseconds.
+    wall_us: u64,
+    /// Sum of per-task busy time in microseconds.
+    cpu_us: u64,
+    /// Analysis units executed per wall-clock second.
+    units_per_sec: f64,
+    /// Wall-clock speedup versus the 1-worker run; `null` when the worker
+    /// list contains no 1-worker baseline run before this point.
+    speedup_vs_sequential: Option<f64>,
+}
+
+/// The `BENCH_orchestrator.json` document.
+#[derive(Debug, Serialize)]
+struct BenchReport {
+    /// Benchmark campaign description.
+    campaign: String,
+    /// Experiments in the matrix.
+    experiments: usize,
+    /// Analysis units per run (shard tasks; constant across worker counts).
+    analysis_units: usize,
+    /// CPUs the host makes available (`std::thread::available_parallelism`).
+    available_parallelism: usize,
+    /// Whether every worker count produced byte-identical deterministic
+    /// reports.
+    deterministic: bool,
+    /// Per worker-count measurements.
+    points: Vec<WorkerPoint>,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let seeds: u64 = arg(&args, "--seeds")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    // 250k conflicts keeps the slow Unsat proofs (Voter under causal) around
+    // ten seconds each in release builds while leaving the cheap Sat cells
+    // untouched; the verdict for a fixed budget is still deterministic.
+    let budget: u64 = arg(&args, "--budget")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(250_000);
+    let worker_counts: Vec<usize> = arg(&args, "--workers")
+        .map(|list| {
+            list.split(',')
+                .map(|w| w.parse().expect("worker count"))
+                .collect()
+        })
+        .unwrap_or_else(|| vec![1, 2, 4, 8]);
+    let out = arg(&args, "--out").unwrap_or_else(|| "BENCH_orchestrator.json".to_string());
+
+    let campaign = Campaign::new()
+        .benchmarks([Benchmark::Smallbank, Benchmark::Voter])
+        .seeds(0..seeds)
+        .strategies([Strategy::ApproxRelaxed])
+        .isolations([IsolationLevel::Causal, IsolationLevel::ReadCommitted]);
+
+    let available = isopredict_orchestrator::WorkerPool::auto().workers();
+    eprintln!(
+        "bench_orchestrator: {} experiments, worker counts {:?}, {} CPUs available",
+        campaign.experiments(),
+        worker_counts,
+        available
+    );
+
+    let mut points = Vec::new();
+    let mut reference: Option<String> = None;
+    let mut deterministic = true;
+    let mut sequential_wall: Option<u64> = None;
+    let mut analysis_units = 0;
+
+    for &workers in &worker_counts {
+        let report = campaign.run(&CampaignOptions {
+            workers,
+            conflict_budget: Some(budget),
+            shard_policy: ShardPolicy::default(),
+        });
+        let fingerprint = report.deterministic_json();
+        match &reference {
+            None => reference = Some(fingerprint),
+            Some(expected) => {
+                if *expected != fingerprint {
+                    deterministic = false;
+                    eprintln!("WARNING: {workers}-worker report differs from reference");
+                }
+            }
+        }
+        analysis_units = report.summary.analysis_units;
+        let wall_us = report.timing.wall_us;
+        if workers == 1 {
+            sequential_wall = Some(wall_us);
+        }
+        let speedup = sequential_wall.map(|seq| seq as f64 / wall_us as f64);
+        match speedup {
+            Some(speedup) => eprintln!(
+                "  {workers:>2} workers: {:.2}s wall, {:.2} units/s, {speedup:.2}x vs sequential",
+                wall_us as f64 / 1e6,
+                report.timing.units_per_sec,
+            ),
+            None => eprintln!(
+                "  {workers:>2} workers: {:.2}s wall, {:.2} units/s (no 1-worker baseline)",
+                wall_us as f64 / 1e6,
+                report.timing.units_per_sec,
+            ),
+        }
+        points.push(WorkerPoint {
+            workers,
+            wall_us,
+            cpu_us: report.timing.cpu_us,
+            units_per_sec: report.timing.units_per_sec,
+            speedup_vs_sequential: speedup,
+        });
+    }
+
+    let bench = BenchReport {
+        campaign: format!("smallbank+voter small, {seeds} seeds, approx-relaxed, causal+rc"),
+        experiments: campaign.experiments(),
+        analysis_units,
+        available_parallelism: available,
+        deterministic,
+        points,
+    };
+    std::fs::write(
+        &out,
+        serde_json::to_string_pretty(&bench).expect("serialize"),
+    )
+    .expect("write bench report");
+    eprintln!("wrote {out}");
+
+    assert!(bench.deterministic, "determinism contract violated");
+}
+
+fn arg(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}

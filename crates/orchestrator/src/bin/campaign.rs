@@ -1,0 +1,140 @@
+//! Runs an analysis campaign from the command line and writes the JSON
+//! report.
+//!
+//! Usage:
+//! `cargo run --release -p isopredict-orchestrator --bin campaign -- \
+//!     [--paper] [--benchmarks smallbank,voter,tpcc,wikipedia] [--seeds N] \
+//!     [--strategies exact-strict,approx-strict,approx-relaxed] \
+//!     [--isolation causal,rc] [--size small|large] [--budget N] \
+//!     [--workers N] [--shard auto|never|always] [--out PATH]`
+
+use isopredict::{IsolationLevel, Strategy};
+use isopredict_orchestrator::{Campaign, CampaignOptions, ShardPolicy};
+use isopredict_workloads::{Benchmark, WorkloadSize};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+
+    let mut campaign = if args.iter().any(|a| a == "--paper") {
+        Campaign::paper_matrix()
+    } else {
+        Campaign::new()
+    };
+    if let Some(list) = arg(&args, "--benchmarks") {
+        campaign = campaign.benchmarks(list.split(',').map(parse_benchmark));
+    }
+    if let Some(n) = arg(&args, "--seeds").and_then(|v| v.parse::<u64>().ok()) {
+        campaign = campaign.seeds(0..n);
+    }
+    if let Some(list) = arg(&args, "--strategies") {
+        campaign = campaign.strategies(list.split(',').map(parse_strategy));
+    }
+    if let Some(list) = arg(&args, "--isolation") {
+        campaign = campaign.isolations(list.split(',').map(parse_isolation));
+    }
+    if let Some(size) = arg(&args, "--size") {
+        campaign = campaign.size(match size.as_str() {
+            "large" => WorkloadSize::Large,
+            _ => WorkloadSize::Small,
+        });
+    }
+
+    let mut options = CampaignOptions::default();
+    if let Some(budget) = arg(&args, "--budget").and_then(|v| v.parse().ok()) {
+        options.conflict_budget = Some(budget);
+    }
+    if let Some(workers) = arg(&args, "--workers").and_then(|v| v.parse().ok()) {
+        options.workers = workers;
+    }
+    if let Some(policy) = arg(&args, "--shard") {
+        options.shard_policy = match policy.as_str() {
+            "never" => ShardPolicy::Never,
+            "always" => ShardPolicy::Always,
+            _ => ShardPolicy::default(),
+        };
+    }
+
+    eprintln!(
+        "campaign: {} experiments on {} workers",
+        campaign.experiments(),
+        options.workers
+    );
+    let report = campaign.run(&options);
+
+    println!(
+        "{:<11} {:>5} {:<15} {:<15} {:>6} {:>6} {:<8} {:<18} {:>9}",
+        "Program", "Seed", "Strategy", "Isolation", "Comps", "Units", "Via", "Outcome", "Literals"
+    );
+    for task in &report.tasks {
+        println!(
+            "{:<11} {:>5} {:<15} {:<15} {:>6} {:>6} {:<8} {:<18} {:>9}",
+            task.benchmark,
+            task.seed,
+            task.strategy,
+            task.isolation,
+            task.components,
+            task.units,
+            task.predicting_unit_label.as_deref().unwrap_or("-"),
+            task.outcome,
+            task.literals,
+        );
+    }
+    println!();
+    println!(
+        "outcomes: {} validated, {} failed validation, {} no prediction, {} unknown ({} experiments, {} analysis units, {} sharded)",
+        report.summary.validated,
+        report.summary.failed_validation,
+        report.summary.no_prediction,
+        report.summary.unknown,
+        report.summary.experiments,
+        report.summary.analysis_units,
+        report.summary.sharded,
+    );
+    println!(
+        "timing: {:.2}s wall on {} workers ({:.2}s cpu, {:.2} units/s, {:.2}x speedup estimate)",
+        report.timing.wall_us as f64 / 1e6,
+        report.timing.workers,
+        report.timing.cpu_us as f64 / 1e6,
+        report.timing.units_per_sec,
+        report.timing.speedup_estimate,
+    );
+
+    if let Some(path) = arg(&args, "--out") {
+        std::fs::write(&path, report.to_json()).expect("write report");
+        eprintln!("report written to {path}");
+    }
+}
+
+fn parse_benchmark(name: &str) -> Benchmark {
+    match name {
+        "smallbank" => Benchmark::Smallbank,
+        "voter" => Benchmark::Voter,
+        "tpcc" | "tpc-c" => Benchmark::Tpcc,
+        "wikipedia" => Benchmark::Wikipedia,
+        other => panic!("unknown benchmark `{other}`"),
+    }
+}
+
+fn parse_strategy(name: &str) -> Strategy {
+    match name {
+        "exact-strict" => Strategy::ExactStrict,
+        "approx-strict" => Strategy::ApproxStrict,
+        "approx-relaxed" => Strategy::ApproxRelaxed,
+        other => panic!("unknown strategy `{other}`"),
+    }
+}
+
+fn parse_isolation(name: &str) -> IsolationLevel {
+    match name {
+        "causal" => IsolationLevel::Causal,
+        "rc" | "read-committed" => IsolationLevel::ReadCommitted,
+        other => panic!("unknown isolation level `{other}`"),
+    }
+}
+
+fn arg(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}

@@ -1,0 +1,424 @@
+//! Declarative analysis campaigns over the benchmarks × seeds × strategies ×
+//! isolation levels matrix.
+//!
+//! A [`Campaign`] names *what* to analyze; [`Campaign::run`] decides *how*:
+//!
+//! 1. **Record** — each unique (benchmark, seed) cell is recorded once
+//!    (serializable observed execution) and its [`ShardPlan`] computed, in
+//!    parallel;
+//! 2. **Predict** — the matrix expands into one task per (observation,
+//!    strategy, isolation, shard unit); the worker pool drains the task queue,
+//!    each task running the component-restricted (or whole-history) predictor
+//!    with the campaign's per-task solver budget;
+//! 3. **Merge + validate** — per experiment, shard verdicts merge into a
+//!    whole-history verdict; predictions are embedded and validated by
+//!    replaying the application with the store steered toward the predicted
+//!    writers.
+//!
+//! Every phase writes results by task index, so the resulting
+//! [`CampaignReport`] is deterministic: for a fixed campaign specification
+//! the deterministic half of the report is byte-identical no matter how many
+//! workers execute it (see `tests/campaign_determinism.rs`).
+
+use std::time::{Duration, Instant};
+
+use isopredict::{validate, PredictionOutcome, Predictor, PredictorConfig, Strategy};
+use isopredict_store::{IsolationLevel, StoreMode};
+use isopredict_workloads::{run, Benchmark, RunOutput, Schedule, WorkloadConfig, WorkloadSize};
+
+use crate::harness::{record_observed, ExperimentOutcome};
+use crate::merge::merge_outcomes;
+use crate::report::{outcome_name, CampaignReport, CampaignSummary, CampaignTiming, TaskRecord};
+use crate::shard::{ShardPlan, ShardPolicy, ShardUnit};
+use crate::worker::WorkerPool;
+
+/// Runtime options of a campaign: parallelism, budgets, sharding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignOptions {
+    /// Worker threads (1 = the sequential baseline).
+    pub workers: usize,
+    /// Per-task solver conflict budget (each shard task gets the full
+    /// budget; exhausting it makes that task `Unknown`).
+    pub conflict_budget: Option<u64>,
+    /// When to shard observed histories.
+    pub shard_policy: ShardPolicy,
+}
+
+impl Default for CampaignOptions {
+    fn default() -> Self {
+        CampaignOptions {
+            workers: WorkerPool::auto().workers(),
+            conflict_budget: Some(2_000_000),
+            shard_policy: ShardPolicy::default(),
+        }
+    }
+}
+
+/// A declarative benchmarks × seeds × strategies × isolation levels matrix.
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    benchmarks: Vec<Benchmark>,
+    seeds: Vec<u64>,
+    strategies: Vec<Strategy>,
+    isolations: Vec<IsolationLevel>,
+    size: WorkloadSize,
+    txns_per_session: Option<usize>,
+}
+
+impl Default for Campaign {
+    fn default() -> Self {
+        Campaign::new()
+    }
+}
+
+impl Campaign {
+    /// A small default matrix: Smallbank + Voter, three seeds,
+    /// Approx-Relaxed, both isolation levels.
+    #[must_use]
+    pub fn new() -> Campaign {
+        Campaign {
+            benchmarks: vec![Benchmark::Smallbank, Benchmark::Voter],
+            seeds: vec![0, 1, 2],
+            strategies: vec![Strategy::ApproxRelaxed],
+            isolations: vec![IsolationLevel::Causal, IsolationLevel::ReadCommitted],
+            size: WorkloadSize::Small,
+            txns_per_session: None,
+        }
+    }
+
+    /// The paper's full Table 4/5 matrix: all benchmarks, ten seeds, all
+    /// strategies, both isolation levels.
+    #[must_use]
+    pub fn paper_matrix() -> Campaign {
+        Campaign {
+            benchmarks: Benchmark::all().to_vec(),
+            seeds: (0..10).collect(),
+            strategies: Strategy::all().to_vec(),
+            isolations: vec![IsolationLevel::Causal, IsolationLevel::ReadCommitted],
+            size: WorkloadSize::Small,
+            txns_per_session: None,
+        }
+    }
+
+    /// Replaces the benchmark set.
+    #[must_use]
+    pub fn benchmarks(mut self, benchmarks: impl IntoIterator<Item = Benchmark>) -> Self {
+        self.benchmarks = benchmarks.into_iter().collect();
+        self
+    }
+
+    /// Replaces the seed set.
+    #[must_use]
+    pub fn seeds(mut self, seeds: impl IntoIterator<Item = u64>) -> Self {
+        self.seeds = seeds.into_iter().collect();
+        self
+    }
+
+    /// Replaces the strategy set.
+    #[must_use]
+    pub fn strategies(mut self, strategies: impl IntoIterator<Item = Strategy>) -> Self {
+        self.strategies = strategies.into_iter().collect();
+        self
+    }
+
+    /// Replaces the isolation-level set.
+    #[must_use]
+    pub fn isolations(mut self, isolations: impl IntoIterator<Item = IsolationLevel>) -> Self {
+        self.isolations = isolations.into_iter().collect();
+        self
+    }
+
+    /// Selects the paper's small or large workload size.
+    #[must_use]
+    pub fn size(mut self, size: WorkloadSize) -> Self {
+        self.size = size;
+        self
+    }
+
+    /// Overrides transactions per session (shrinks debug-build test time).
+    #[must_use]
+    pub fn txns_per_session(mut self, txns: usize) -> Self {
+        self.txns_per_session = Some(txns);
+        self
+    }
+
+    /// Number of experiments in the matrix.
+    #[must_use]
+    pub fn experiments(&self) -> usize {
+        self.benchmarks.len() * self.seeds.len() * self.strategies.len() * self.isolations.len()
+    }
+
+    fn config_for(&self, seed: u64) -> WorkloadConfig {
+        let mut config = match self.size {
+            WorkloadSize::Small => WorkloadConfig::small(seed),
+            WorkloadSize::Large => WorkloadConfig::large(seed),
+        };
+        if let Some(txns) = self.txns_per_session {
+            config.txns_per_session = txns;
+        }
+        config
+    }
+
+    /// Executes the campaign on `options.workers` threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the campaign matrix is empty along any dimension.
+    #[must_use]
+    pub fn run(&self, options: &CampaignOptions) -> CampaignReport {
+        assert!(
+            self.experiments() > 0,
+            "campaign matrix is empty along some dimension"
+        );
+        let pool = WorkerPool::new(options.workers);
+        let campaign_start = Instant::now();
+
+        // Phase 1 — record one observed execution per (benchmark, seed).
+        let record_start = Instant::now();
+        let cells: Vec<(Benchmark, u64)> = self
+            .benchmarks
+            .iter()
+            .flat_map(|&benchmark| self.seeds.iter().map(move |&seed| (benchmark, seed)))
+            .collect();
+        let observations: Vec<Observation> = pool.run(&cells, |_, &(benchmark, seed)| {
+            let busy = Instant::now();
+            let config = self.config_for(seed);
+            let observed = record_observed(benchmark, &config);
+            let plan = ShardPlan::new(&observed.history, options.shard_policy);
+            Observation {
+                benchmark,
+                seed,
+                config,
+                observed,
+                plan,
+                busy: busy.elapsed(),
+            }
+        });
+        let record_wall = record_start.elapsed();
+
+        // Phase 2 — one prediction task per (observation, strategy,
+        // isolation, shard unit), expanded in deterministic matrix order.
+        let predict_start = Instant::now();
+        let mut unit_tasks: Vec<UnitTask> = Vec::new();
+        for (observation_index, observation) in observations.iter().enumerate() {
+            for &strategy in &self.strategies {
+                for &isolation in &self.isolations {
+                    for unit_index in 0..observation.plan.units.len() {
+                        unit_tasks.push(UnitTask {
+                            observation: observation_index,
+                            strategy,
+                            isolation,
+                            unit: unit_index,
+                        });
+                    }
+                }
+            }
+        }
+        let unit_results: Vec<(PredictionOutcome, Duration)> = pool.run(&unit_tasks, |_, task| {
+            let busy = Instant::now();
+            let observation = &observations[task.observation];
+            let predictor = Predictor::new(PredictorConfig {
+                strategy: task.strategy,
+                isolation: task.isolation,
+                conflict_budget: options.conflict_budget,
+                ..PredictorConfig::default()
+            });
+            let outcome = match &observation.plan.units[task.unit] {
+                ShardUnit::Whole => predictor.predict(&observation.observed.history),
+                ShardUnit::Component { txns, .. } => {
+                    predictor.predict_restricted(&observation.observed.history, txns)
+                }
+            };
+            (outcome, busy.elapsed())
+        });
+        let predict_wall = predict_start.elapsed();
+
+        // Phase 3 — merge shard verdicts per experiment and validate
+        // predictions by steered replay.
+        let validate_start = Instant::now();
+        let mut experiments: Vec<ExperimentInput> = Vec::new();
+        {
+            let mut cursor = 0usize;
+            for (observation_index, observation) in observations.iter().enumerate() {
+                for &strategy in &self.strategies {
+                    for &isolation in &self.isolations {
+                        let units = observation.plan.units.len();
+                        experiments.push(ExperimentInput {
+                            observation: observation_index,
+                            strategy,
+                            isolation,
+                            unit_range: (cursor, cursor + units),
+                        });
+                        cursor += units;
+                    }
+                }
+            }
+            debug_assert_eq!(cursor, unit_results.len());
+        }
+        let experiment_results: Vec<(TaskRecord, Duration)> =
+            pool.run(&experiments, |_, experiment| {
+                let busy = Instant::now();
+                let observation = &observations[experiment.observation];
+                let (lo, hi) = experiment.unit_range;
+                let outcomes: Vec<&PredictionOutcome> =
+                    unit_results[lo..hi].iter().map(|(o, _)| o).collect();
+                let record = finish_experiment(experiment, observation, &outcomes);
+                (record, busy.elapsed())
+            });
+        let validate_wall = validate_start.elapsed();
+
+        // Aggregate.
+        let wall = campaign_start.elapsed();
+        let cpu: Duration = observations.iter().map(|o| o.busy).sum::<Duration>()
+            + unit_results.iter().map(|(_, d)| *d).sum::<Duration>()
+            + experiment_results.iter().map(|(_, d)| *d).sum::<Duration>();
+        let tasks: Vec<TaskRecord> = experiment_results
+            .into_iter()
+            .map(|(record, _)| record)
+            .collect();
+        let summary = CampaignSummary::from_tasks(&tasks);
+        let wall_us = wall.as_micros().max(1) as u64;
+        let timing = CampaignTiming {
+            workers: pool.workers(),
+            wall_us,
+            cpu_us: cpu.as_micros() as u64,
+            record_us: record_wall.as_micros() as u64,
+            predict_us: predict_wall.as_micros() as u64,
+            validate_us: validate_wall.as_micros() as u64,
+            units_per_sec: unit_tasks.len() as f64 / (wall_us as f64 / 1e6),
+            speedup_estimate: cpu.as_micros() as f64 / wall_us as f64,
+        };
+        CampaignReport {
+            tasks,
+            summary,
+            timing,
+        }
+    }
+}
+
+/// A recorded (benchmark, seed) cell with its shard plan.
+struct Observation {
+    benchmark: Benchmark,
+    seed: u64,
+    config: WorkloadConfig,
+    observed: RunOutput,
+    plan: ShardPlan,
+    busy: Duration,
+}
+
+/// One prediction task of the expanded matrix.
+struct UnitTask {
+    observation: usize,
+    strategy: Strategy,
+    isolation: IsolationLevel,
+    unit: usize,
+}
+
+/// One experiment: the slice of unit tasks to merge plus its coordinates.
+struct ExperimentInput {
+    observation: usize,
+    strategy: Strategy,
+    isolation: IsolationLevel,
+    unit_range: (usize, usize),
+}
+
+/// Merges an experiment's shard verdicts and validates any prediction.
+fn finish_experiment(
+    experiment: &ExperimentInput,
+    observation: &Observation,
+    outcomes: &[&PredictionOutcome],
+) -> TaskRecord {
+    let plan = &observation.plan;
+    let merged = merge_outcomes(&observation.observed.history, outcomes, plan.sharded);
+
+    let (outcome, diverged, changed_reads) = match &merged.outcome {
+        PredictionOutcome::NoPrediction { .. } => (ExperimentOutcome::NoPrediction, false, 0),
+        PredictionOutcome::Unknown => (ExperimentOutcome::Unknown, false, 0),
+        PredictionOutcome::Prediction(prediction) => {
+            let validation_plan =
+                validate::plan_validation(prediction, &observation.observed.committed_indices);
+            let validating_run = run(
+                observation.benchmark,
+                &observation.config,
+                StoreMode::Controlled {
+                    level: experiment.isolation,
+                    script: validation_plan.script.clone(),
+                },
+                &Schedule::Explicit(validation_plan.schedule.clone()),
+            );
+            let assessment = validate::assess(&validating_run.history, &validating_run.divergences);
+            let outcome = if assessment.validated {
+                ExperimentOutcome::Validated
+            } else {
+                ExperimentOutcome::FailedValidation
+            };
+            (outcome, assessment.diverged, prediction.changed_reads.len())
+        }
+    };
+
+    TaskRecord {
+        benchmark: observation.benchmark.name().to_string(),
+        seed: observation.seed,
+        strategy: experiment.strategy.name().to_string(),
+        isolation: experiment.isolation.to_string(),
+        components: plan.components.len(),
+        dominant_fraction: plan.components.dominant_fraction(),
+        sharded: plan.sharded,
+        units: plan.units.len(),
+        predicting_unit: merged.predicting_unit,
+        predicting_unit_label: merged
+            .predicting_unit
+            .map(|index| plan.units[index].label()),
+        outcome: outcome_name(&outcome).to_string(),
+        diverged,
+        changed_reads,
+        literals: merged.stats.literals,
+        observed_txns: observation
+            .observed
+            .history
+            .committed_transactions()
+            .count(),
+        observed_reads: observation.observed.history.num_reads(),
+        observed_writes: observation.observed.history.num_writes(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_campaign() -> Campaign {
+        Campaign::new()
+            .benchmarks([Benchmark::Smallbank])
+            .seeds([0])
+            .strategies([Strategy::ApproxRelaxed])
+            .isolations([IsolationLevel::ReadCommitted])
+            .txns_per_session(2)
+    }
+
+    #[test]
+    fn campaign_produces_one_record_per_matrix_cell() {
+        let campaign = tiny_campaign();
+        assert_eq!(campaign.experiments(), 1);
+        let report = campaign.run(&CampaignOptions {
+            workers: 2,
+            ..CampaignOptions::default()
+        });
+        assert_eq!(report.tasks.len(), 1);
+        let task = &report.tasks[0];
+        assert_eq!(task.benchmark, "Smallbank");
+        assert_eq!(task.strategy, "Approx-Relaxed");
+        assert_eq!(task.isolation, "read committed");
+        assert!(task.observed_txns > 0);
+        assert_eq!(report.summary.experiments, 1);
+        assert!(report.timing.wall_us > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_matrix_is_rejected() {
+        let _ = Campaign::new()
+            .benchmarks([])
+            .run(&CampaignOptions::default());
+    }
+}

@@ -70,8 +70,7 @@ pub fn run_experiment(
     conflict_budget: Option<u64>,
 ) -> ExperimentResult {
     let observed_run = record_observed(benchmark, config);
-    let observed_chars =
-        isopredict_workloads::WorkloadCharacteristics::of(&observed_run.history);
+    let observed_chars = isopredict_workloads::WorkloadCharacteristics::of(&observed_run.history);
 
     let predictor = Predictor::new(PredictorConfig {
         strategy,
@@ -107,8 +106,7 @@ pub fn run_experiment(
                 },
                 &Schedule::Explicit(plan.schedule.clone()),
             );
-            let assessment =
-                validate::assess(&validating_run.history, &validating_run.divergences);
+            let assessment = validate::assess(&validating_run.history, &validating_run.divergences);
             let outcome = if assessment.validated {
                 ExperimentOutcome::Validated
             } else {

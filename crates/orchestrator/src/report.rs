@@ -1,0 +1,238 @@
+//! Campaign reports: deterministic per-task records plus timing aggregates.
+//!
+//! Reports split into two halves on purpose:
+//!
+//! * [`TaskRecord`]s and the [`CampaignSummary`] contain only values that are
+//!   a pure function of the campaign specification (workloads, solver and
+//!   sharding are all deterministic), so [`CampaignReport::deterministic_json`]
+//!   is **byte-identical across runs and worker counts** — the campaign
+//!   runner's reproducibility contract, and what the determinism tests pin.
+//! * [`CampaignTiming`] carries the wall-clock measurements (which of course
+//!   vary run to run) and the parallel speedup estimate.
+
+use serde::Serialize;
+
+/// How one experiment (or shard task) ended, as a report string.
+pub(crate) fn outcome_name(outcome: &crate::harness::ExperimentOutcome) -> &'static str {
+    use crate::harness::ExperimentOutcome;
+    match outcome {
+        ExperimentOutcome::Validated => "validated",
+        ExperimentOutcome::FailedValidation => "failed_validation",
+        ExperimentOutcome::NoPrediction => "no_prediction",
+        ExperimentOutcome::Unknown => "unknown",
+    }
+}
+
+/// The deterministic record of one experiment of the campaign matrix.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TaskRecord {
+    /// Benchmark name (paper spelling, e.g. "Smallbank").
+    pub benchmark: String,
+    /// Seed of the observed execution.
+    pub seed: u64,
+    /// Prediction strategy name (paper spelling, e.g. "Approx-Relaxed").
+    pub strategy: String,
+    /// Target isolation level ("causal" / "read committed").
+    pub isolation: String,
+    /// Number of communication components in the observed history.
+    pub components: usize,
+    /// Fraction of committed transactions in the largest component.
+    pub dominant_fraction: f64,
+    /// Whether the shard policy decided to analyze per-component.
+    pub sharded: bool,
+    /// Number of analysis units (1 if unsharded, else the component count).
+    pub units: usize,
+    /// Index of the shard whose prediction was embedded, if any.
+    pub predicting_unit: Option<usize>,
+    /// Human-readable label of that unit ("whole" / "shard-N"), if any.
+    pub predicting_unit_label: Option<String>,
+    /// How the experiment ended ("validated", "failed_validation",
+    /// "no_prediction", "unknown").
+    pub outcome: String,
+    /// Whether the validating execution diverged from the prediction.
+    pub diverged: bool,
+    /// Number of reads whose writer the prediction changed.
+    pub changed_reads: usize,
+    /// Literal count of the generated constraints (summed over predicting
+    /// shards; 0 when no shard predicted, mirroring the harness).
+    pub literals: u64,
+    /// Committed transactions in the observed execution.
+    pub observed_txns: usize,
+    /// Read events in the observed execution.
+    pub observed_reads: usize,
+    /// Write events in the observed execution.
+    pub observed_writes: usize,
+}
+
+/// Outcome counts over the whole campaign.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize)]
+pub struct CampaignSummary {
+    /// Total experiments (matrix cells).
+    pub experiments: usize,
+    /// Experiments whose prediction validated as unserializable.
+    pub validated: usize,
+    /// Experiments whose prediction failed validation.
+    pub failed_validation: usize,
+    /// Experiments where no prediction exists.
+    pub no_prediction: usize,
+    /// Experiments where the solver budget was exhausted.
+    pub unknown: usize,
+    /// Experiments analyzed per-shard.
+    pub sharded: usize,
+    /// Total analysis units executed (shard tasks + whole-history tasks).
+    pub analysis_units: usize,
+}
+
+impl CampaignSummary {
+    /// Tallies a summary from task records.
+    #[must_use]
+    pub fn from_tasks(tasks: &[TaskRecord]) -> CampaignSummary {
+        let mut summary = CampaignSummary {
+            experiments: tasks.len(),
+            ..CampaignSummary::default()
+        };
+        for task in tasks {
+            match task.outcome.as_str() {
+                "validated" => summary.validated += 1,
+                "failed_validation" => summary.failed_validation += 1,
+                "no_prediction" => summary.no_prediction += 1,
+                _ => summary.unknown += 1,
+            }
+            if task.sharded {
+                summary.sharded += 1;
+            }
+            summary.analysis_units += task.units;
+        }
+        summary
+    }
+}
+
+/// Wall-clock measurements of one campaign run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct CampaignTiming {
+    /// Worker threads used.
+    pub workers: usize,
+    /// Total wall-clock time of the campaign, in microseconds.
+    pub wall_us: u64,
+    /// Sum of per-task busy times across all phases, in microseconds (the
+    /// sequential-equivalent cost).
+    pub cpu_us: u64,
+    /// Wall-clock time of the record phase, in microseconds.
+    pub record_us: u64,
+    /// Wall-clock time of the predict phase, in microseconds.
+    pub predict_us: u64,
+    /// Wall-clock time of the merge + validate phase, in microseconds.
+    pub validate_us: u64,
+    /// Analysis units executed per wall-clock second.
+    pub units_per_sec: f64,
+    /// `cpu_us / wall_us` — an *upper bound* on the parallel speedup. Each
+    /// task's busy time is measured in wall-clock terms, so when workers
+    /// time-share scarce CPUs the per-task times inflate and this ratio
+    /// approaches the worker count regardless of real throughput; the honest
+    /// speedup measure is comparing `wall_us` against a 1-worker run of the
+    /// same campaign (what `bench_orchestrator` reports).
+    pub speedup_estimate: f64,
+}
+
+/// The full result of a campaign run.
+#[derive(Debug, Clone, Serialize)]
+pub struct CampaignReport {
+    /// One record per experiment, in matrix order (deterministic).
+    pub tasks: Vec<TaskRecord>,
+    /// Outcome aggregates (deterministic).
+    pub summary: CampaignSummary,
+    /// Wall-clock measurements (run-dependent).
+    pub timing: CampaignTiming,
+}
+
+impl CampaignReport {
+    /// Pretty JSON of the whole report, timing included.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serialization cannot fail")
+    }
+
+    /// Pretty JSON of the deterministic half only (tasks + summary):
+    /// byte-identical across runs and worker counts for a fixed campaign.
+    #[must_use]
+    pub fn deterministic_json(&self) -> String {
+        struct Deterministic<'a>(&'a CampaignReport);
+        impl Serialize for Deterministic<'_> {
+            fn to_content(&self) -> serde::Content {
+                serde::Content::Map(vec![
+                    ("tasks".to_string(), self.0.tasks.to_content()),
+                    ("summary".to_string(), self.0.summary.to_content()),
+                ])
+            }
+        }
+        serde_json::to_string_pretty(&Deterministic(self))
+            .expect("report serialization cannot fail")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(outcome: &str, sharded: bool, units: usize) -> TaskRecord {
+        TaskRecord {
+            benchmark: "Smallbank".into(),
+            seed: 0,
+            strategy: "Approx-Relaxed".into(),
+            isolation: "causal".into(),
+            components: units.max(1),
+            dominant_fraction: 0.5,
+            sharded,
+            units,
+            predicting_unit: None,
+            predicting_unit_label: None,
+            outcome: outcome.into(),
+            diverged: false,
+            changed_reads: 1,
+            literals: 100,
+            observed_txns: 12,
+            observed_reads: 20,
+            observed_writes: 10,
+        }
+    }
+
+    #[test]
+    fn summary_tallies_outcomes_and_units() {
+        let tasks = vec![
+            record("validated", true, 3),
+            record("no_prediction", false, 1),
+            record("unknown", false, 1),
+            record("failed_validation", true, 2),
+        ];
+        let summary = CampaignSummary::from_tasks(&tasks);
+        assert_eq!(summary.experiments, 4);
+        assert_eq!(summary.validated, 1);
+        assert_eq!(summary.failed_validation, 1);
+        assert_eq!(summary.no_prediction, 1);
+        assert_eq!(summary.unknown, 1);
+        assert_eq!(summary.sharded, 2);
+        assert_eq!(summary.analysis_units, 7);
+    }
+
+    #[test]
+    fn deterministic_json_excludes_timing() {
+        let tasks = vec![record("validated", false, 1)];
+        let summary = CampaignSummary::from_tasks(&tasks);
+        let mut report = CampaignReport {
+            tasks,
+            summary,
+            timing: CampaignTiming {
+                workers: 4,
+                wall_us: 123,
+                ..CampaignTiming::default()
+            },
+        };
+        let first = report.deterministic_json();
+        report.timing.wall_us = 456_789;
+        report.timing.workers = 8;
+        assert_eq!(first, report.deterministic_json());
+        assert!(report.to_json().contains("wall_us"));
+        assert!(!first.contains("wall_us"));
+        assert!(first.contains("\"benchmark\": \"Smallbank\""));
+    }
+}

@@ -1,0 +1,219 @@
+//! History sharding: splitting an observed history into independently
+//! analyzable shards.
+//!
+//! A shard is a set of committed transactions closed under *communication*
+//! (shared keys and shared sessions; see
+//! [`isopredict_history::connectivity`]). Because `so`, `wr`, the
+//! arbitration orders and anti-dependencies never cross communication
+//! components, neither can any cycle the analysis searches for — a
+//! prediction exists for the whole history iff it exists for some shard, and
+//! per-shard constraint systems are strictly smaller (SAT solving is
+//! superlinear, so this is where the decomposition pays beyond parallelism).
+//!
+//! Sharding is not always worth it: when one component dominates the
+//! history, the dominant shard's solver call costs nearly as much as the
+//! whole-history call while the decomposition still pays its bookkeeping.
+//! [`ShardPolicy::Auto`] therefore falls back to whole-history analysis
+//! above a dominance threshold.
+
+use isopredict_history::{connectivity::KeyComponents, History, TxnId};
+
+/// When to shard a history.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ShardPolicy {
+    /// Always analyze whole histories (the paper's original pipeline).
+    Never,
+    /// Shard unless a single component holds more than `dominance` of the
+    /// committed transactions (or there is only one component).
+    Auto {
+        /// Dominant-fraction threshold in `(0, 1]` above which sharding is
+        /// skipped.
+        dominance: f64,
+    },
+    /// Shard whenever there is more than one component.
+    Always,
+}
+
+impl Default for ShardPolicy {
+    fn default() -> Self {
+        ShardPolicy::Auto { dominance: 0.75 }
+    }
+}
+
+/// One unit of analysis work produced by sharding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardUnit {
+    /// Analyze the history as a whole.
+    Whole,
+    /// Analyze the restriction to one communication component.
+    Component {
+        /// Index into [`ShardPlan::components`].
+        index: usize,
+        /// The component's transactions (sorted).
+        txns: Vec<TxnId>,
+    },
+}
+
+impl ShardUnit {
+    /// A short label for reports ("whole" or "shard-N").
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            ShardUnit::Whole => "whole".to_string(),
+            ShardUnit::Component { index, .. } => format!("shard-{index}"),
+        }
+    }
+}
+
+/// The sharding decision for one observed history.
+#[derive(Debug, Clone)]
+pub struct ShardPlan {
+    /// The communication decomposition of the history.
+    pub components: KeyComponents,
+    /// The units the campaign will analyze (either a single
+    /// [`ShardUnit::Whole`] or one [`ShardUnit::Component`] per component).
+    pub units: Vec<ShardUnit>,
+    /// Whether the plan decided to shard.
+    pub sharded: bool,
+}
+
+impl ShardPlan {
+    /// Plans the analysis of `observed` under `policy`.
+    #[must_use]
+    pub fn new(observed: &History, policy: ShardPolicy) -> ShardPlan {
+        let components = KeyComponents::of(observed);
+        let shard = match policy {
+            ShardPolicy::Never => false,
+            ShardPolicy::Always => components.len() > 1,
+            ShardPolicy::Auto { dominance } => {
+                components.len() > 1 && components.dominant_fraction() <= dominance
+            }
+        };
+        let units = if shard {
+            components
+                .components()
+                .iter()
+                .enumerate()
+                .map(|(index, txns)| ShardUnit::Component {
+                    index,
+                    txns: txns.clone(),
+                })
+                .collect()
+        } else {
+            vec![ShardUnit::Whole]
+        };
+        ShardPlan {
+            components,
+            units,
+            sharded: shard,
+        }
+    }
+
+    /// The history each unit analyzes: the original for [`ShardUnit::Whole`],
+    /// a lossless component restriction otherwise.
+    #[must_use]
+    pub fn history_for(&self, observed: &History, unit: &ShardUnit) -> History {
+        match unit {
+            ShardUnit::Whole => observed.clone(),
+            ShardUnit::Component { txns, .. } => observed.restrict(txns, false),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isopredict_history::HistoryBuilder;
+
+    /// `pairs` independent two-session components, one key each.
+    fn disjoint_history(pairs: usize) -> History {
+        let mut b = HistoryBuilder::new();
+        for p in 0..pairs {
+            let key = format!("k{p}");
+            let s1 = b.session(format!("s{p}a"));
+            let s2 = b.session(format!("s{p}b"));
+            let t1 = b.begin(s1);
+            b.read(t1, &key, TxnId::INITIAL);
+            b.write(t1, &key);
+            b.commit(t1);
+            let t2 = b.begin(s2);
+            b.read(t2, &key, t1);
+            b.write(t2, &key);
+            b.commit(t2);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn never_policy_yields_one_whole_unit() {
+        let history = disjoint_history(3);
+        let plan = ShardPlan::new(&history, ShardPolicy::Never);
+        assert!(!plan.sharded);
+        assert_eq!(plan.units, vec![ShardUnit::Whole]);
+        assert_eq!(plan.components.len(), 3);
+        assert_eq!(plan.history_for(&history, &plan.units[0]), history);
+    }
+
+    #[test]
+    fn always_policy_yields_one_unit_per_component() {
+        let history = disjoint_history(3);
+        let plan = ShardPlan::new(&history, ShardPolicy::Always);
+        assert!(plan.sharded);
+        assert_eq!(plan.units.len(), 3);
+        for (i, unit) in plan.units.iter().enumerate() {
+            assert_eq!(unit.label(), format!("shard-{i}"));
+            let restricted = plan.history_for(&history, unit);
+            // The restriction keeps exactly the component's two transactions.
+            assert_eq!(
+                restricted
+                    .committed_transactions()
+                    .filter(|t| !t.events.is_empty())
+                    .count(),
+                2
+            );
+        }
+    }
+
+    #[test]
+    fn auto_policy_respects_the_dominance_threshold() {
+        // 3 components of 2 transactions each: dominant fraction = 1/3.
+        let balanced = disjoint_history(3);
+        let plan = ShardPlan::new(&balanced, ShardPolicy::Auto { dominance: 0.5 });
+        assert!(plan.sharded);
+
+        // One big component (4 txns) + one small (2): dominant = 2/3 > 0.5.
+        let mut b = HistoryBuilder::new();
+        let s1 = b.session("big");
+        for _ in 0..4 {
+            let t = b.begin(s1);
+            b.write(t, "big-key");
+            b.commit(t);
+        }
+        let s2 = b.session("small-a");
+        let s3 = b.session("small-b");
+        let t = b.begin(s2);
+        b.write(t, "small-key");
+        b.commit(t);
+        let u = b.begin(s3);
+        b.read(u, "small-key", t);
+        b.commit(u);
+        let skewed = b.finish();
+        let plan = ShardPlan::new(&skewed, ShardPolicy::Auto { dominance: 0.5 });
+        assert!(!plan.sharded, "dominant component must disable sharding");
+        assert_eq!(plan.units, vec![ShardUnit::Whole]);
+    }
+
+    #[test]
+    fn single_component_histories_never_shard() {
+        let history = disjoint_history(1);
+        for policy in [
+            ShardPolicy::Always,
+            ShardPolicy::Auto { dominance: 0.1 },
+            ShardPolicy::Never,
+        ] {
+            let plan = ShardPlan::new(&history, policy);
+            assert!(!plan.sharded);
+            assert_eq!(plan.units.len(), 1);
+        }
+    }
+}

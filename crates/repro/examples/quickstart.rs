@@ -31,9 +31,11 @@ fn main() {
     builder.commit(t2);
 
     let observed = builder.finish();
-    println!("observed execution: {} transactions, serializable = {}",
+    println!(
+        "observed execution: {} transactions, serializable = {}",
         observed.committed_transactions().count(),
-        serializability::check(&observed).is_serializable());
+        serializability::check(&observed).is_serializable()
+    );
 
     // Predict an unserializable execution that is still causally consistent.
     let predictor = Predictor::new(PredictorConfig {

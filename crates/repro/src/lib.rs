@@ -9,7 +9,9 @@
 //! * [`isopredict_history`] — the execution-history formalism,
 //! * [`isopredict_store`] — the MonkeyDB-substitute transactional KV store,
 //! * [`isopredict_workloads`] — the OLTP-Bench-style client applications,
-//! * [`isopredict_smt`] / [`isopredict_sat`] — the constraint-solving substrate.
+//! * [`isopredict_smt`] / [`isopredict_sat`] — the constraint-solving substrate,
+//! * [`isopredict_orchestrator`] — history sharding and parallel analysis
+//!   campaigns over the benchmark matrix.
 //!
 //! # Example
 //!
@@ -36,6 +38,7 @@
 
 pub use isopredict;
 pub use isopredict_history;
+pub use isopredict_orchestrator;
 pub use isopredict_sat;
 pub use isopredict_smt;
 pub use isopredict_store;
@@ -44,10 +47,13 @@ pub use isopredict_workloads;
 /// Convenience re-exports used by the examples and integration tests.
 pub mod prelude {
     pub use isopredict::{
-        IsolationLevel, PredictionOutcome, Predictor, PredictorConfig, Strategy,
-        ValidationOutcome, ValidationPlan,
+        IsolationLevel, PredictionOutcome, Predictor, PredictorConfig, Strategy, ValidationOutcome,
+        ValidationPlan,
     };
     pub use isopredict_history::{History, HistoryBuilder, SessionId, TxnId};
+    pub use isopredict_orchestrator::{
+        Campaign, CampaignOptions, CampaignReport, ShardPlan, ShardPolicy, WorkerPool,
+    };
     pub use isopredict_store::{Engine, StoreMode, Value};
     pub use isopredict_workloads::{Benchmark, RunOutput, Schedule, WorkloadConfig};
 }

@@ -98,8 +98,12 @@ fn rc_predictions_are_at_least_as_frequent_as_causal_ones() {
                 StoreMode::SerializableRecord,
                 &Schedule::RoundRobin,
             );
-            if predict(&observed.history, Strategy::ApproxRelaxed, IsolationLevel::Causal)
-                .is_prediction()
+            if predict(
+                &observed.history,
+                Strategy::ApproxRelaxed,
+                IsolationLevel::Causal,
+            )
+            .is_prediction()
             {
                 causal_found += 1;
             }

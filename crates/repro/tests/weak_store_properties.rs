@@ -10,10 +10,7 @@ use isopredict_store::{Engine, IsolationLevel, StoreMode, Value};
 /// of (key index, is_write) operations.
 fn program_strategy() -> impl Strategy<Value = Vec<Vec<Vec<(u8, bool)>>>> {
     prop::collection::vec(
-        prop::collection::vec(
-            prop::collection::vec((0u8..3, any::<bool>()), 1..4),
-            1..4,
-        ),
+        prop::collection::vec(prop::collection::vec((0u8..3, any::<bool>()), 1..4), 1..4),
         1..4,
     )
 }
@@ -30,7 +27,9 @@ fn run_program(program: &[Vec<Vec<(u8, bool)>>], mode: StoreMode) -> isopredict_
     let max_txns = program.iter().map(Vec::len).max().unwrap_or(0);
     for txn_index in 0..max_txns {
         for (session, txns) in program.iter().enumerate() {
-            let Some(ops) = txns.get(txn_index) else { continue };
+            let Some(ops) = txns.get(txn_index) else {
+                continue;
+            };
             let mut txn = clients[session].begin();
             for (key, is_write) in ops {
                 let key = format!("k{key}");

@@ -44,8 +44,7 @@ impl Solver {
                 debug_assert!(trail_index > 0, "ran out of trail during analysis");
                 trail_index -= 1;
                 let lit = self.assignment.trail[trail_index];
-                if self.seen[lit.var().index()]
-                    && self.assignment.level(lit.var()) == current_level
+                if self.seen[lit.var().index()] && self.assignment.level(lit.var()) == current_level
                 {
                     break lit;
                 }
@@ -218,7 +217,10 @@ mod tests {
             let outcome = solver.solve();
             match outcome {
                 SolveOutcome::Sat => {
-                    assert!(brute_sat, "solver said SAT, brute force says UNSAT (instance {instance})");
+                    assert!(
+                        brute_sat,
+                        "solver said SAT, brute force says UNSAT (instance {instance})"
+                    );
                     let m = solver.model().unwrap();
                     for clause in &clauses {
                         assert!(
@@ -228,7 +230,10 @@ mod tests {
                     }
                 }
                 SolveOutcome::Unsat => {
-                    assert!(!brute_sat, "solver said UNSAT, brute force says SAT (instance {instance})");
+                    assert!(
+                        !brute_sat,
+                        "solver said UNSAT, brute force says SAT (instance {instance})"
+                    );
                 }
                 SolveOutcome::Unknown => panic!("no budget configured"),
             }
@@ -250,10 +255,10 @@ mod tests {
         for row in &p {
             solver.add_clause(row.iter().map(|&v| Lit::positive(v)));
         }
-        for j in 0..holes {
-            for i1 in 0..n {
-                for i2 in (i1 + 1)..n {
-                    solver.add_clause([Lit::negative(p[i1][j]), Lit::negative(p[i2][j])]);
+        for (i1, row1) in p.iter().enumerate() {
+            for row2 in &p[i1 + 1..] {
+                for (slot1, slot2) in row1.iter().zip(row2) {
+                    solver.add_clause([Lit::negative(*slot1), Lit::negative(*slot2)]);
                 }
             }
         }

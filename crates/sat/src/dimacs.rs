@@ -20,7 +20,11 @@ pub struct DimacsError {
 
 impl std::fmt::Display for DimacsError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "dimacs parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "dimacs parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 

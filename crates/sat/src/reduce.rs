@@ -27,7 +27,7 @@ impl Solver {
     /// reason of an assignment are never deleted.
     pub(crate) fn reduce_learnt_db(&mut self) {
         let locked: Vec<Option<ClauseRef>> = self.reasons.clone();
-        let is_locked = |cref: ClauseRef| locked.iter().any(|r| *r == Some(cref));
+        let is_locked = |cref: ClauseRef| locked.contains(&Some(cref));
 
         let mut candidates: Vec<(ClauseRef, u32, f64)> = self
             .db
@@ -84,10 +84,10 @@ mod tests {
         for row in &p {
             solver.add_clause(row.iter().map(|&v| Lit::positive(v)));
         }
-        for j in 0..holes {
-            for i1 in 0..n {
-                for i2 in (i1 + 1)..n {
-                    solver.add_clause([Lit::negative(p[i1][j]), Lit::negative(p[i2][j])]);
+        for (i1, row1) in p.iter().enumerate() {
+            for row2 in &p[i1 + 1..] {
+                for (slot1, slot2) in row1.iter().zip(row2) {
+                    solver.add_clause([Lit::negative(*slot1), Lit::negative(*slot2)]);
                 }
             }
         }

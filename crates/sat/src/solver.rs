@@ -356,7 +356,9 @@ impl Solver {
             match self.search(theory, budget, &mut learnt_limit, start_conflicts) {
                 SearchResult::Sat => {
                     let values: Vec<bool> = (0..self.num_vars())
-                        .map(|i| self.assignment.value_var(Var::from_index(i as u32)) == LBool::True)
+                        .map(|i| {
+                            self.assignment.value_var(Var::from_index(i as u32)) == LBool::True
+                        })
                         .collect();
                     let model = Model::from_values(values);
                     // Give the theory a last chance to veto the assignment.
@@ -634,10 +636,10 @@ mod tests {
             solver.add_clause([Lit::positive(row[0]), Lit::positive(row[1])]);
         }
         // No two pigeons share a hole.
-        for j in 0..2 {
-            for i1 in 0..3 {
-                for i2 in (i1 + 1)..3 {
-                    solver.add_clause([Lit::negative(p[i1][j]), Lit::negative(p[i2][j])]);
+        for (i1, row1) in p.iter().enumerate() {
+            for row2 in &p[i1 + 1..] {
+                for (slot1, slot2) in row1.iter().zip(row2) {
+                    solver.add_clause([Lit::negative(*slot1), Lit::negative(*slot2)]);
                 }
             }
         }
@@ -687,8 +689,10 @@ mod tests {
 
     #[test]
     fn conflict_budget_returns_unknown_or_decides() {
-        let mut config = SolverConfig::default();
-        config.max_conflicts = Some(1);
+        let config = SolverConfig {
+            max_conflicts: Some(1),
+            ..SolverConfig::default()
+        };
         let mut solver = Solver::with_config(config);
         // A modest pigeonhole instance that needs more than one conflict.
         let n = 5;
@@ -701,10 +705,10 @@ mod tests {
         for row in &p {
             solver.add_clause(row.iter().map(|&v| Lit::positive(v)));
         }
-        for j in 0..(n - 1) {
-            for i1 in 0..n {
-                for i2 in (i1 + 1)..n {
-                    solver.add_clause([Lit::negative(p[i1][j]), Lit::negative(p[i2][j])]);
+        for (i1, row1) in p.iter().enumerate() {
+            for row2 in &p[i1 + 1..] {
+                for (slot1, slot2) in row1.iter().zip(row2) {
+                    solver.add_clause([Lit::negative(*slot1), Lit::negative(*slot2)]);
                 }
             }
         }
@@ -713,8 +717,10 @@ mod tests {
 
     #[test]
     fn naive_decision_order_also_works() {
-        let mut config = SolverConfig::default();
-        config.use_vsids = false;
+        let config = SolverConfig {
+            use_vsids: false,
+            ..SolverConfig::default()
+        };
         let mut solver = Solver::with_config(config);
         let v = new_vars(&mut solver, 3);
         solver.add_clause([lit(&v, 0, true), lit(&v, 1, false)]);

@@ -60,7 +60,13 @@ mod tests {
             literals: 9,
         };
         let s = stats.to_string();
-        for needle in ["vars=7", "clauses=8", "literals=9", "conflicts=3", "theory 4"] {
+        for needle in [
+            "vars=7",
+            "clauses=8",
+            "literals=9",
+            "conflicts=3",
+            "theory 4",
+        ] {
             assert!(s.contains(needle), "missing {needle} in {s}");
         }
     }

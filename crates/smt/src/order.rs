@@ -160,10 +160,7 @@ impl Theory for OrderTheory {
 /// Computes a topological order of the nodes given the atoms that are true in
 /// `model`. Used to extract concrete commit orders for reporting. Returns
 /// `None` if the true atoms are cyclic (which indicates a solver bug).
-pub(crate) fn topological_positions(
-    num_nodes: u32,
-    edges: &[(u32, u32)],
-) -> Option<Vec<usize>> {
+pub(crate) fn topological_positions(num_nodes: u32, edges: &[(u32, u32)]) -> Option<Vec<usize>> {
     let n = num_nodes as usize;
     let mut indegree = vec![0usize; n];
     let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
@@ -171,7 +168,9 @@ pub(crate) fn topological_positions(
         adj[from as usize].push(to);
         indegree[to as usize] += 1;
     }
-    let mut queue: Vec<u32> = (0..num_nodes).filter(|&v| indegree[v as usize] == 0).collect();
+    let mut queue: Vec<u32> = (0..num_nodes)
+        .filter(|&v| indegree[v as usize] == 0)
+        .collect();
     let mut positions = vec![usize::MAX; n];
     let mut next_pos = 0;
     while let Some(node) = queue.pop() {
@@ -217,7 +216,9 @@ mod tests {
             smt.assert_term(lt);
         }
         assert_eq!(smt.check(), SmtResult::Sat);
-        let positions = smt.model_order_positions().expect("sat model has positions");
+        let positions = smt
+            .model_order_positions()
+            .expect("sat model has positions");
         for pair in nodes.windows(2) {
             assert!(positions[pair[0].id() as usize] < positions[pair[1].id() as usize]);
         }

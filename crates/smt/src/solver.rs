@@ -125,7 +125,10 @@ impl SmtSolver {
     ///
     /// Panics if `domain_size` is zero.
     pub fn fd_var(&mut self, name: impl Into<String>, domain_size: usize) -> FdVar {
-        assert!(domain_size > 0, "finite-domain variable needs a non-empty domain");
+        assert!(
+            domain_size > 0,
+            "finite-domain variable needs a non-empty domain"
+        );
         let var = FdVar {
             id: self.fd_vars.len() as u32,
         };

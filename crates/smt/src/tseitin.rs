@@ -23,8 +23,7 @@ impl SmtSolver {
             }
             Term::Not(inner) => self.encode_term(inner).negate(),
             Term::And(children) => {
-                let child_lits: Vec<Lit> =
-                    children.iter().map(|&c| self.encode_term(c)).collect();
+                let child_lits: Vec<Lit> = children.iter().map(|&c| self.encode_term(c)).collect();
                 let fresh = Lit::positive(self.sat.new_var());
                 // fresh ⇒ child, for every child
                 for &child in &child_lits {
@@ -37,8 +36,7 @@ impl SmtSolver {
                 fresh
             }
             Term::Or(children) => {
-                let child_lits: Vec<Lit> =
-                    children.iter().map(|&c| self.encode_term(c)).collect();
+                let child_lits: Vec<Lit> = children.iter().map(|&c| self.encode_term(c)).collect();
                 let fresh = Lit::positive(self.sat.new_var());
                 // child ⇒ fresh, for every child
                 for &child in &child_lits {

@@ -89,8 +89,20 @@ mod tests {
         let (builder, open) = builder_with_stale_read();
         let t1 = TxnId(1);
         let t2 = TxnId(2);
-        assert!(!is_legal(&builder, open, "x", t1, IsolationLevel::ReadCommitted));
-        assert!(is_legal(&builder, open, "x", t2, IsolationLevel::ReadCommitted));
+        assert!(!is_legal(
+            &builder,
+            open,
+            "x",
+            t1,
+            IsolationLevel::ReadCommitted
+        ));
+        assert!(is_legal(
+            &builder,
+            open,
+            "x",
+            t2,
+            IsolationLevel::ReadCommitted
+        ));
     }
 
     #[test]
@@ -130,10 +142,22 @@ mod tests {
         b.read(tb1, "x", t1);
         b.commit(tb1);
         let open = b.begin(sb);
-        assert!(!is_legal(&b, open, "x", TxnId::INITIAL, IsolationLevel::Causal));
+        assert!(!is_legal(
+            &b,
+            open,
+            "x",
+            TxnId::INITIAL,
+            IsolationLevel::Causal
+        ));
         assert!(is_legal(&b, open, "x", t1, IsolationLevel::Causal));
         // Read committed is weaker and allows the stale read across
         // transactions (it only constrains reads within one transaction).
-        assert!(is_legal(&b, open, "x", TxnId::INITIAL, IsolationLevel::ReadCommitted));
+        assert!(is_legal(
+            &b,
+            open,
+            "x",
+            TxnId::INITIAL,
+            IsolationLevel::ReadCommitted
+        ));
     }
 }

@@ -266,8 +266,7 @@ impl Inner {
                     });
                     return self.fallback_writer(session, open_txn, key, level, latest);
                 };
-                let wrote_key =
-                    writer.is_initial() || self.store.by_writer(key, writer).is_some();
+                let wrote_key = writer.is_initial() || self.store.by_writer(key, writer).is_some();
                 if !wrote_key {
                     self.divergences.push(Divergence {
                         session,
@@ -294,12 +293,8 @@ impl Inner {
     /// Candidate writers of `key`: every committed transaction with a version
     /// of the key, plus the initial state.
     fn candidates(&self, key: &str) -> Vec<TxnId> {
-        let mut candidates: Vec<TxnId> = self
-            .store
-            .versions(key)
-            .iter()
-            .map(|v| v.writer)
-            .collect();
+        let mut candidates: Vec<TxnId> =
+            self.store.versions(key).iter().map(|v| v.writer).collect();
         if !candidates.contains(&TxnId::INITIAL) {
             candidates.push(TxnId::INITIAL);
         }
@@ -513,7 +508,10 @@ mod tests {
                 t.commit();
             }
             let history = engine.history();
-            assert!(isopredict_history::causal::is_causal(&history), "seed {seed}");
+            assert!(
+                isopredict_history::causal::is_causal(&history),
+                "seed {seed}"
+            );
         }
     }
 
@@ -567,7 +565,10 @@ mod tests {
                 break;
             }
         }
-        assert!(found_unserializable, "no seed produced the lost-update anomaly");
+        assert!(
+            found_unserializable,
+            "no seed produced the lost-update anomaly"
+        );
     }
 
     #[test]
@@ -600,7 +601,11 @@ mod tests {
             t.put("acct", balance + 10);
             t.commit();
         }
-        assert!(engine.divergences().is_empty(), "{:?}", engine.divergences());
+        assert!(
+            engine.divergences().is_empty(),
+            "{:?}",
+            engine.divergences()
+        );
         let history = engine.history();
         assert!(!serializability::check(&history).is_serializable());
         assert!(isopredict_history::causal::is_causal(&history));

@@ -13,7 +13,10 @@ impl std::fmt::Display for StoreError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             StoreError::TransactionFinished => {
-                write!(f, "operation on a transaction that already committed or aborted")
+                write!(
+                    f,
+                    "operation on a transaction that already committed or aborted"
+                )
             }
             StoreError::TransactionAlreadyOpen => {
                 write!(f, "the session already has an open transaction")

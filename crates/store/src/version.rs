@@ -47,11 +47,14 @@ impl VersionedStore {
 
     /// Appends a committed version.
     pub(crate) fn install(&mut self, key: &str, writer: TxnId, commit_seq: u64, value: Value) {
-        self.versions.entry(key.to_string()).or_default().push(Version {
-            writer,
-            commit_seq,
-            value,
-        });
+        self.versions
+            .entry(key.to_string())
+            .or_default()
+            .push(Version {
+                writer,
+                commit_seq,
+                value,
+            });
     }
 
     /// All versions of `key` (oldest first). Missing keys have no versions.
@@ -88,7 +91,10 @@ mod tests {
         store.install("x", TxnId(2), 2, Value::Int(20));
         assert_eq!(store.versions("x").len(), 3);
         assert_eq!(store.latest("x").unwrap().value, Value::Int(20));
-        assert_eq!(store.by_writer("x", TxnId(1)).unwrap().value, Value::Int(10));
+        assert_eq!(
+            store.by_writer("x", TxnId(1)).unwrap().value,
+            Value::Int(10)
+        );
         assert_eq!(
             store.by_writer("x", TxnId::INITIAL).unwrap().value,
             Value::Int(0)

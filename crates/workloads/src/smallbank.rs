@@ -90,9 +90,8 @@ pub fn setup(engine: &Engine, config: &WorkloadConfig) {
 pub fn plan(config: &WorkloadConfig) -> Vec<Vec<SmallbankTxn>> {
     (0..config.sessions)
         .map(|session| {
-            let mut rng = ChaCha8Rng::seed_from_u64(
-                config.seed ^ (0x5ba1_0000 + session as u64) << 8,
-            );
+            let mut rng =
+                ChaCha8Rng::seed_from_u64(config.seed ^ (0x5ba1_0000 + session as u64) << 8);
             (0..config.txns_per_session)
                 .map(|_| random_txn(&mut rng, config.scale))
                 .collect()
@@ -328,6 +327,8 @@ mod tests {
         ];
         // The store only received +50, but the committed plan says +110.
         let violations = assertions(&engine, &config, &committed);
-        assert!(violations.iter().any(|v| v.name == "smallbank.total-balance"));
+        assert!(violations
+            .iter()
+            .any(|v| v.name == "smallbank.total-balance"));
     }
 }

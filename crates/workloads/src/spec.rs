@@ -161,7 +161,11 @@ mod tests {
     fn plans_are_deterministic_in_the_seed() {
         let config = WorkloadConfig::small(42);
         for benchmark in Benchmark::all() {
-            assert_eq!(benchmark.plan(&config), benchmark.plan(&config), "{benchmark}");
+            assert_eq!(
+                benchmark.plan(&config),
+                benchmark.plan(&config),
+                "{benchmark}"
+            );
         }
         let other = WorkloadConfig::small(43);
         // At least one benchmark plan should differ across seeds (all random

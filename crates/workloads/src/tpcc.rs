@@ -120,10 +120,7 @@ pub fn setup(engine: &Engine, config: &WorkloadConfig) {
         engine.set_initial(&delivered_key(district), 0i64.into());
         for customer in 0..num_customers(config) {
             engine.set_initial(&customer_balance_key(district, customer), 0i64.into());
-            engine.set_initial(
-                &customer_last_order_key(district, customer),
-                0i64.into(),
-            );
+            engine.set_initial(&customer_last_order_key(district, customer), 0i64.into());
         }
     }
     for item in 0..num_items(config) {

@@ -55,7 +55,10 @@ const TOTAL_KEY: &str = "voter:total";
 /// Loads contestants and zeroed counters.
 pub fn setup(engine: &Engine, _config: &WorkloadConfig) {
     for contestant in 0..NUM_CONTESTANTS {
-        engine.set_initial(&contestant_key(contestant), format!("contestant-{contestant}").into());
+        engine.set_initial(
+            &contestant_key(contestant),
+            format!("contestant-{contestant}").into(),
+        );
         engine.set_initial(&votes_key(contestant), 0i64.into());
     }
     engine.set_initial(TOTAL_KEY, 0i64.into());
@@ -200,6 +203,9 @@ mod tests {
                 break;
             }
         }
-        assert!(violated, "weak execution never broke the vote-once invariant");
+        assert!(
+            violated,
+            "weak execution never broke the vote-once invariant"
+        );
     }
 }

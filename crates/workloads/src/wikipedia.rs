@@ -83,8 +83,14 @@ fn num_users(config: &WorkloadConfig) -> usize {
 pub fn setup(engine: &Engine, config: &WorkloadConfig) {
     for page in 0..num_pages(config) {
         engine.set_initial(&latest_rev_key(page), 1i64.into());
-        engine.set_initial(&page_text_key(page), Value::Str(format!("page-{page}-rev-1")));
-        engine.set_initial(&revision_key(page, 1), Value::Str(format!("page-{page}-rev-1")));
+        engine.set_initial(
+            &page_text_key(page),
+            Value::Str(format!("page-{page}-rev-1")),
+        );
+        engine.set_initial(
+            &revision_key(page, 1),
+            Value::Str(format!("page-{page}-rev-1")),
+        );
     }
     for user in 0..num_users(config) {
         engine.set_initial(&user_key(user), Value::Str(format!("user-{user}")));
@@ -190,7 +196,9 @@ pub fn assertions(
         if text != revision {
             violations.push(AssertionViolation::new(
                 "wikipedia.text-revision-mismatch",
-                format!("page {page}: text {text:?} does not match revision {actual} ({revision:?})"),
+                format!(
+                    "page {page}: text {text:?} does not match revision {actual} ({revision:?})"
+                ),
             ));
         }
     }
@@ -232,6 +240,8 @@ mod tests {
         );
         assert!(output.history.num_reads() > output.history.num_writes());
         // Most transactions are read-only, as the paper notes.
-        assert!(output.history.num_read_only() * 2 >= output.history.committed_transactions().count());
+        assert!(
+            output.history.num_read_only() * 2 >= output.history.committed_transactions().count()
+        );
     }
 }

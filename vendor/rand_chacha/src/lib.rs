@@ -1,0 +1,144 @@
+//! Offline stand-in for the `rand_chacha` crate (see `vendor/README.md`).
+//!
+//! Provides [`ChaCha8Rng`]: a genuine ChaCha stream cipher with 8 rounds used
+//! as a deterministic random number generator. Streams are reproducible given
+//! a seed, which is all the workspace relies on (it does not depend on
+//! matching upstream `rand_chacha` byte-for-byte).
+
+use rand::{RngCore, SeedableRng};
+
+/// A deterministic RNG backed by the ChaCha block function with 8 rounds.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    /// The 16-word ChaCha input block: constants, 8 key words, counter, nonce.
+    state: [u32; 16],
+    /// The current output block.
+    block: [u32; 16],
+    /// Next word of `block` to emit; 16 means "generate a fresh block".
+    index: usize,
+}
+
+const CHACHA_CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+#[inline]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut working = self.state;
+        for _ in 0..4 {
+            // 8 rounds = 4 double-rounds.
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for (out, (w, s)) in self
+            .block
+            .iter_mut()
+            .zip(working.iter().zip(self.state.iter()))
+        {
+            *out = w.wrapping_add(*s);
+        }
+        // 64-bit block counter in words 12/13.
+        let (low, carry) = self.state[12].overflowing_add(1);
+        self.state[12] = low;
+        if carry {
+            self.state[13] = self.state[13].wrapping_add(1);
+        }
+        self.index = 0;
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: [u8; 32]) -> Self {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CHACHA_CONSTANTS);
+        for (word, chunk) in state[4..12].iter_mut().zip(seed.chunks_exact(4)) {
+            *word = u32::from_le_bytes(chunk.try_into().expect("chunk of 4"));
+        }
+        // counter (12, 13) and nonce (14, 15) start at zero.
+        ChaCha8Rng {
+            state,
+            block: [0; 16],
+            index: 16,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= 16 {
+            self.refill();
+        }
+        let word = self.block[self.index];
+        self.index += 1;
+        word
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let low = u64::from(self.next_u32());
+        let high = u64::from(self.next_u32());
+        (high << 32) | low
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn zero_key_first_block_matches_chacha8_reference() {
+        // RFC 7539 test-vector layout, 8-round variant, all-zero key/nonce:
+        // first output word of the keystream.
+        let mut rng = ChaCha8Rng::from_seed([0; 32]);
+        let first = rng.next_u32();
+        let second = rng.next_u32();
+        // ECRYPT ChaCha8 vector: keystream starts 3e 00 ef 2f 89 5f 40 d6 …
+        assert_eq!(first, 0x2fef_003e, "ChaCha8 keystream mismatch: {first:#x}");
+        assert_eq!(
+            second, 0xd640_5f89,
+            "ChaCha8 keystream mismatch: {second:#x}"
+        );
+    }
+
+    #[test]
+    fn counter_advances_across_blocks() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let first_block: Vec<u32> = (0..16).map(|_| rng.next_u32()).collect();
+        let second_block: Vec<u32> = (0..16).map(|_| rng.next_u32()).collect();
+        assert_ne!(first_block, second_block);
+    }
+}

@@ -1,0 +1,317 @@
+//! Offline stand-in for the `serde` crate (see `vendor/README.md`).
+//!
+//! Instead of serde's visitor-based zero-copy architecture, this stand-in
+//! uses a miniserde-style self-describing tree: [`Serialize`] lowers a value
+//! to a [`Content`] tree and [`Deserialize`] rebuilds a value from one. The
+//! companion crates `serde_derive` (re-exported here) and `serde_json`
+//! provide the derive macros and the JSON transport. The API intentionally
+//! keeps the upstream *names* (`serde::Serialize`, `#[derive(Serialize)]`,
+//! `#[serde(tag = "...", rename_all = "...")]`) so the workspace's sources
+//! stay byte-compatible with real serde.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing serialized value: the intermediate representation every
+/// format (currently only JSON) reads and writes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    I64(i64),
+    /// An unsigned integer too large for `i64`.
+    U64(u64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// A sequence.
+    Seq(Vec<Content>),
+    /// A map with insertion-ordered string keys.
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// The map entries, if this is a map.
+    #[must_use]
+    pub fn as_map(&self) -> Option<&[(String, Content)]> {
+        match self {
+            Content::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Looks up `key` in a map, returning [`Content::Null`] when the key is
+    /// absent (so optional fields deserialize to their "empty" form).
+    #[must_use]
+    pub fn get(&self, key: &str) -> &Content {
+        const NULL: Content = Content::Null;
+        match self {
+            Content::Map(entries) => entries
+                .iter()
+                .find(|(k, _)| k == key)
+                .map_or(&NULL, |(_, v)| v),
+            _ => &NULL,
+        }
+    }
+
+    /// A short human-readable description of the content's kind, for errors.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::I64(_) | Content::U64(_) => "integer",
+            Content::F64(_) => "number",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "sequence",
+            Content::Map(_) => "map",
+        }
+    }
+}
+
+/// A deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(String);
+
+impl DeError {
+    /// Creates an error with the given message.
+    #[must_use]
+    pub fn message(msg: impl Into<String>) -> Self {
+        DeError(msg.into())
+    }
+
+    /// Creates an "expected X, found Y" error.
+    #[must_use]
+    pub fn expected(what: &str, found: &Content) -> Self {
+        DeError(format!("expected {what}, found {}", found.kind()))
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// A value that can be lowered to a [`Content`] tree.
+pub trait Serialize {
+    /// Lowers `self` to content.
+    fn to_content(&self) -> Content;
+}
+
+/// A value that can be rebuilt from a [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds a value from content.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DeError`] when the content's shape does not match.
+    fn from_content(content: &Content) -> Result<Self, DeError>;
+}
+
+// ---- primitive impls ----
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Bool(b) => Ok(*b),
+            other => Err(DeError::expected("bool", other)),
+        }
+    }
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::I64(i64::from(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                let raw = match content {
+                    Content::I64(i) => *i,
+                    Content::U64(u) => i64::try_from(*u)
+                        .map_err(|_| DeError::message("integer out of range"))?,
+                    other => return Err(DeError::expected("integer", other)),
+                };
+                <$t>::try_from(raw).map_err(|_| DeError::message("integer out of range"))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                match i64::try_from(*self) {
+                    Ok(i) => Content::I64(i),
+                    Err(_) => Content::U64(*self as u64),
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                match content {
+                    Content::I64(i) => <$t>::try_from(*i)
+                        .map_err(|_| DeError::message("integer out of range")),
+                    Content::U64(u) => <$t>::try_from(*u)
+                        .map_err(|_| DeError::message("integer out of range")),
+                    other => Err(DeError::expected("integer", other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64);
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::F64(f) => Ok(*f),
+            Content::I64(i) => Ok(*i as f64),
+            Content::U64(u) => Ok(*u as f64),
+            other => Err(DeError::expected("number", other)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(DeError::expected("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            other => Err(DeError::expected("sequence", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            None => Content::Null,
+            Some(value) => value.to_content(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        T::from_content(content).map(Box::new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(bool::from_content(&true.to_content()), Ok(true));
+        assert_eq!(u32::from_content(&7u32.to_content()), Ok(7));
+        assert_eq!(i64::from_content(&(-3i64).to_content()), Ok(-3));
+        assert_eq!(usize::from_content(&9usize.to_content()), Ok(9));
+        assert_eq!(
+            String::from_content(&"hi".to_string().to_content()),
+            Ok("hi".to_string())
+        );
+        assert_eq!(
+            Vec::<u8>::from_content(&vec![1u8, 2].to_content()),
+            Ok(vec![1, 2])
+        );
+        assert_eq!(Option::<u8>::from_content(&Content::Null), Ok(None));
+        assert_eq!(Option::<u8>::from_content(&Content::I64(4)), Ok(Some(4)));
+    }
+
+    #[test]
+    fn errors_name_the_mismatch() {
+        let err = u32::from_content(&Content::Str("x".into())).unwrap_err();
+        assert!(err.to_string().contains("expected integer"));
+        let err = u8::from_content(&Content::I64(300)).unwrap_err();
+        assert!(err.to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn map_get_returns_null_for_missing_keys() {
+        let map = Content::Map(vec![("a".into(), Content::I64(1))]);
+        assert_eq!(map.get("a"), &Content::I64(1));
+        assert_eq!(map.get("b"), &Content::Null);
+        assert_eq!(map.kind(), "map");
+    }
+}

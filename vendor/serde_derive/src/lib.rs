@@ -1,0 +1,543 @@
+//! Offline stand-in for the `serde_derive` crate (see `vendor/README.md`).
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` against the
+//! vendored `serde` crate's [`Content`] data model. Because `syn`/`quote` are
+//! unavailable offline, the item is parsed by hand from the raw token stream;
+//! the supported grammar is exactly what this workspace needs:
+//!
+//! * structs with named fields, tuple structs (newtype or seq),
+//! * enums with unit, newtype and struct variants (externally tagged), and
+//! * the `#[serde(tag = "...")]` and `#[serde(rename_all = "snake_case")]`
+//!   item attributes (internally tagged struct/unit variants).
+//!
+//! Generics are not supported; deriving on a generic item is a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The shape of the item being derived.
+enum Data {
+    /// `struct S { a: T, b: U }`
+    NamedStruct(Vec<String>),
+    /// `struct S(T, U);` — one field serializes transparently (newtype).
+    TupleStruct(usize),
+    /// `enum E { ... }`
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    tag: Option<String>,
+    rename_all: Option<String>,
+    data: Data,
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated impl parses")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated impl parses")
+}
+
+// ---- parsing ----
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut index = 0;
+    let mut tag = None;
+    let mut rename_all = None;
+
+    // Leading attributes and visibility.
+    loop {
+        match tokens.get(index) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(group)) = tokens.get(index + 1) {
+                    parse_serde_attr(group.stream(), &mut tag, &mut rename_all);
+                }
+                index += 2;
+            }
+            Some(TokenTree::Ident(ident)) if ident.to_string() == "pub" => {
+                index += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(index) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        index += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match tokens.get(index) {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    index += 1;
+    let name = match tokens.get(index) {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => panic!("serde_derive: expected item name, found {other:?}"),
+    };
+    index += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(index) {
+        assert!(
+            p.as_char() != '<',
+            "serde_derive (vendored): generic items are not supported"
+        );
+    }
+
+    let data = match (kind.as_str(), tokens.get(index)) {
+        ("struct", Some(TokenTree::Group(group))) if group.delimiter() == Delimiter::Brace => {
+            Data::NamedStruct(parse_named_fields(group.stream()))
+        }
+        ("struct", Some(TokenTree::Group(group)))
+            if group.delimiter() == Delimiter::Parenthesis =>
+        {
+            Data::TupleStruct(count_tuple_fields(group.stream()))
+        }
+        ("struct", Some(TokenTree::Punct(p))) if p.as_char() == ';' => Data::TupleStruct(0),
+        ("enum", Some(TokenTree::Group(group))) if group.delimiter() == Delimiter::Brace => {
+            Data::Enum(parse_variants(group.stream()))
+        }
+        (kind, other) => panic!("serde_derive: unsupported {kind} body: {other:?}"),
+    };
+
+    Item {
+        name,
+        tag,
+        rename_all,
+        data,
+    }
+}
+
+/// Extracts `tag` / `rename_all` from a `[serde(...)]` attribute body, if the
+/// bracket group is a serde attribute at all.
+fn parse_serde_attr(
+    stream: TokenStream,
+    tag: &mut Option<String>,
+    rename_all: &mut Option<String>,
+) {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    match tokens.first() {
+        Some(TokenTree::Ident(ident)) if ident.to_string() == "serde" => {}
+        _ => return,
+    }
+    let Some(TokenTree::Group(args)) = tokens.get(1) else {
+        return;
+    };
+    let args: Vec<TokenTree> = args.stream().into_iter().collect();
+    let mut i = 0;
+    while i < args.len() {
+        let key = match &args[i] {
+            TokenTree::Ident(ident) => ident.to_string(),
+            _ => {
+                i += 1;
+                continue;
+            }
+        };
+        if let (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) =
+            (args.get(i + 1), args.get(i + 2))
+        {
+            if eq.as_char() == '=' {
+                let value = unquote(&lit.to_string());
+                match key.as_str() {
+                    "tag" => *tag = Some(value),
+                    "rename_all" => *rename_all = Some(value),
+                    other => {
+                        panic!("serde_derive (vendored): unsupported serde attribute `{other}`")
+                    }
+                }
+                i += 3;
+                continue;
+            }
+        }
+        panic!("serde_derive (vendored): unsupported serde attribute form near `{key}`");
+    }
+}
+
+fn unquote(literal: &str) -> String {
+    literal.trim_matches('"').to_string()
+}
+
+/// Splits a token stream on top-level commas, tracking `<...>` depth so that
+/// generic argument lists do not split fields.
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut segments = vec![Vec::new()];
+    let mut angle_depth = 0i32;
+    for token in stream {
+        match &token {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                segments.push(Vec::new());
+                continue;
+            }
+            _ => {}
+        }
+        segments.last_mut().expect("nonempty").push(token);
+    }
+    segments.retain(|segment| !segment.is_empty());
+    segments
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|segment| {
+            let mut i = 0;
+            loop {
+                match segment.get(i) {
+                    Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+                    Some(TokenTree::Ident(ident)) if ident.to_string() == "pub" => {
+                        i += 1;
+                        if let Some(TokenTree::Group(g)) = segment.get(i) {
+                            if g.delimiter() == Delimiter::Parenthesis {
+                                i += 1;
+                            }
+                        }
+                    }
+                    Some(TokenTree::Ident(ident)) => return ident.to_string(),
+                    other => panic!("serde_derive: expected field name, found {other:?}"),
+                }
+            }
+        })
+        .collect()
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    split_top_level(stream).len()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|segment| {
+            let mut i = 0;
+            while let Some(TokenTree::Punct(p)) = segment.get(i) {
+                assert!(
+                    p.as_char() == '#',
+                    "serde_derive: unexpected token in variant"
+                );
+                i += 2; // skip `#[...]`
+            }
+            let name = match segment.get(i) {
+                Some(TokenTree::Ident(ident)) => ident.to_string(),
+                other => panic!("serde_derive: expected variant name, found {other:?}"),
+            };
+            let fields = match segment.get(i + 1) {
+                Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                    VariantFields::Named(parse_named_fields(group.stream()))
+                }
+                Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis => {
+                    VariantFields::Tuple(count_tuple_fields(group.stream()))
+                }
+                None => VariantFields::Unit,
+                other => panic!("serde_derive: unsupported variant shape: {other:?}"),
+            };
+            Variant { name, fields }
+        })
+        .collect()
+}
+
+// ---- code generation ----
+
+fn rename(variant: &str, rule: Option<&str>) -> String {
+    match rule {
+        None => variant.to_string(),
+        Some("snake_case") => {
+            let mut out = String::new();
+            for (i, ch) in variant.chars().enumerate() {
+                if ch.is_ascii_uppercase() {
+                    if i > 0 {
+                        out.push('_');
+                    }
+                    out.push(ch.to_ascii_lowercase());
+                } else {
+                    out.push(ch);
+                }
+            }
+            out
+        }
+        Some(other) => panic!("serde_derive (vendored): unsupported rename_all rule `{other}`"),
+    }
+}
+
+fn named_fields_to_map(fields: &[String], access: impl Fn(&str) -> String) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|field| {
+            format!(
+                "(::std::string::String::from(\"{field}\"), ::serde::Serialize::to_content({})),",
+                access(field)
+            )
+        })
+        .collect();
+    format!("::serde::Content::Map(::std::vec![{}])", entries.join(""))
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.data {
+        Data::NamedStruct(fields) => named_fields_to_map(fields, |f| format!("&self.{f}")),
+        Data::TupleStruct(1) => "::serde::Serialize::to_content(&self.0)".to_string(),
+        Data::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_content(&self.{i}),"))
+                .collect();
+            format!("::serde::Content::Seq(::std::vec![{}])", items.join(""))
+        }
+        Data::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|variant| gen_serialize_variant(item, variant))
+                .collect();
+            format!("match self {{ {} }}", arms.join(""))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_content(&self) -> ::serde::Content {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_serialize_variant(item: &Item, variant: &Variant) -> String {
+    let enum_name = &item.name;
+    let variant_name = &variant.name;
+    let wire_name = rename(variant_name, item.rename_all.as_deref());
+    if let Some(tag) = &item.tag {
+        // Internally tagged: `{ "<tag>": "<variant>", <fields...> }`.
+        return match &variant.fields {
+            VariantFields::Unit => format!(
+                "{enum_name}::{variant_name} => ::serde::Content::Map(::std::vec![\
+                 (::std::string::String::from(\"{tag}\"), \
+                  ::serde::Content::Str(::std::string::String::from(\"{wire_name}\")))]),"
+            ),
+            VariantFields::Named(fields) => {
+                let binders = fields.join(", ");
+                let entries: Vec<String> = std::iter::once(format!(
+                    "(::std::string::String::from(\"{tag}\"), \
+                     ::serde::Content::Str(::std::string::String::from(\"{wire_name}\"))),"
+                ))
+                .chain(fields.iter().map(|field| {
+                    format!(
+                        "(::std::string::String::from(\"{field}\"), \
+                         ::serde::Serialize::to_content({field})),"
+                    )
+                }))
+                .collect();
+                format!(
+                    "{enum_name}::{variant_name} {{ {binders} }} => \
+                     ::serde::Content::Map(::std::vec![{}]),",
+                    entries.join("")
+                )
+            }
+            VariantFields::Tuple(_) => {
+                panic!("serde_derive (vendored): tuple variants are not supported with `tag`")
+            }
+        };
+    }
+    // Externally tagged (serde's default representation).
+    match &variant.fields {
+        VariantFields::Unit => format!(
+            "{enum_name}::{variant_name} => \
+             ::serde::Content::Str(::std::string::String::from(\"{wire_name}\")),"
+        ),
+        VariantFields::Tuple(1) => format!(
+            "{enum_name}::{variant_name}(__f0) => ::serde::Content::Map(::std::vec![\
+             (::std::string::String::from(\"{wire_name}\"), \
+              ::serde::Serialize::to_content(__f0))]),"
+        ),
+        VariantFields::Tuple(n) => {
+            let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+            let items: Vec<String> = binders
+                .iter()
+                .map(|b| format!("::serde::Serialize::to_content({b}),"))
+                .collect();
+            format!(
+                "{enum_name}::{variant_name}({}) => ::serde::Content::Map(::std::vec![\
+                 (::std::string::String::from(\"{wire_name}\"), \
+                  ::serde::Content::Seq(::std::vec![{}]))]),",
+                binders.join(", "),
+                items.join("")
+            )
+        }
+        VariantFields::Named(fields) => {
+            let binders = fields.join(", ");
+            let inner = named_fields_to_map(fields, |f| f.to_string());
+            format!(
+                "{enum_name}::{variant_name} {{ {binders} }} => \
+                 ::serde::Content::Map(::std::vec![\
+                 (::std::string::String::from(\"{wire_name}\"), {inner})]),"
+            )
+        }
+    }
+}
+
+fn named_fields_from_map(fields: &[String], source: &str) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|field| {
+            format!("{field}: ::serde::Deserialize::from_content({source}.get(\"{field}\"))?,")
+        })
+        .collect();
+    entries.join("")
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.data {
+        Data::NamedStruct(fields) => format!(
+            "if __content.as_map().is_none() {{\n\
+                 return ::std::result::Result::Err(::serde::DeError::expected(\"map\", __content));\n\
+             }}\n\
+             ::std::result::Result::Ok({name} {{ {} }})",
+            named_fields_from_map(fields, "__content")
+        ),
+        Data::TupleStruct(1) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_content(__content)?))"
+        ),
+        Data::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_content(&__items[{i}])?,"))
+                .collect();
+            format!(
+                "match __content {{\n\
+                     ::serde::Content::Seq(__items) if __items.len() == {n} => \
+                         ::std::result::Result::Ok({name}({})),\n\
+                     __other => ::std::result::Result::Err(\
+                         ::serde::DeError::expected(\"sequence of {n}\", __other)),\n\
+                 }}",
+                items.join("")
+            )
+        }
+        Data::Enum(variants) => gen_deserialize_enum(item, variants),
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_content(__content: &::serde::Content) \
+                 -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize_enum(item: &Item, variants: &[Variant]) -> String {
+    let name = &item.name;
+    if let Some(tag) = &item.tag {
+        let arms: Vec<String> = variants
+            .iter()
+            .map(|variant| {
+                let wire = rename(&variant.name, item.rename_all.as_deref());
+                let variant_name = &variant.name;
+                match &variant.fields {
+                    VariantFields::Unit => {
+                        format!("\"{wire}\" => ::std::result::Result::Ok({name}::{variant_name}),")
+                    }
+                    VariantFields::Named(fields) => format!(
+                        "\"{wire}\" => ::std::result::Result::Ok({name}::{variant_name} {{ {} }}),",
+                        named_fields_from_map(fields, "__content")
+                    ),
+                    VariantFields::Tuple(_) => panic!(
+                        "serde_derive (vendored): tuple variants are not supported with `tag`"
+                    ),
+                }
+            })
+            .collect();
+        return format!(
+            "let __tag = __content.get(\"{tag}\");\n\
+             let __tag = __tag.as_str().ok_or_else(|| \
+                 ::serde::DeError::message(\"missing or non-string tag `{tag}`\"))?;\n\
+             match __tag {{\n\
+                 {}\n\
+                 __other => ::std::result::Result::Err(::serde::DeError::message(\
+                     ::std::format!(\"unknown variant `{{}}`\", __other))),\n\
+             }}",
+            arms.join("\n")
+        );
+    }
+
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.fields, VariantFields::Unit))
+        .map(|v| {
+            let wire = rename(&v.name, item.rename_all.as_deref());
+            format!(
+                "\"{wire}\" => ::std::result::Result::Ok({name}::{}),",
+                v.name
+            )
+        })
+        .collect();
+    let data_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| !matches!(v.fields, VariantFields::Unit))
+        .map(|variant| {
+            let wire = rename(&variant.name, item.rename_all.as_deref());
+            let variant_name = &variant.name;
+            match &variant.fields {
+                VariantFields::Unit => unreachable!(),
+                VariantFields::Tuple(1) => format!(
+                    "\"{wire}\" => ::std::result::Result::Ok({name}::{variant_name}(\
+                     ::serde::Deserialize::from_content(__value)?)),"
+                ),
+                VariantFields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_content(&__items[{i}])?,"))
+                        .collect();
+                    format!(
+                        "\"{wire}\" => match __value {{\n\
+                             ::serde::Content::Seq(__items) if __items.len() == {n} => \
+                                 ::std::result::Result::Ok({name}::{variant_name}({})),\n\
+                             __other => ::std::result::Result::Err(\
+                                 ::serde::DeError::expected(\"sequence of {n}\", __other)),\n\
+                         }},",
+                        items.join("")
+                    )
+                }
+                VariantFields::Named(fields) => format!(
+                    "\"{wire}\" => ::std::result::Result::Ok({name}::{variant_name} {{ {} }}),",
+                    named_fields_from_map(fields, "__value")
+                ),
+            }
+        })
+        .collect();
+
+    format!(
+        "match __content {{\n\
+             ::serde::Content::Str(__s) => match __s.as_str() {{\n\
+                 {}\n\
+                 __other => ::std::result::Result::Err(::serde::DeError::message(\
+                     ::std::format!(\"unknown variant `{{}}`\", __other))),\n\
+             }},\n\
+             ::serde::Content::Map(__entries) if __entries.len() == 1 => {{\n\
+                 let (__key, __value) = &__entries[0];\n\
+                 match __key.as_str() {{\n\
+                     {}\n\
+                     __other => ::std::result::Result::Err(::serde::DeError::message(\
+                         ::std::format!(\"unknown variant `{{}}`\", __other))),\n\
+                 }}\n\
+             }}\n\
+             __other => ::std::result::Result::Err(\
+                 ::serde::DeError::expected(\"enum variant\", __other)),\n\
+         }}",
+        unit_arms.join("\n"),
+        data_arms.join("\n")
+    )
+}
