@@ -1,6 +1,6 @@
 //! Constraint generation (Section 4 and Appendix B of the paper).
 //!
-//! The [`Encoder`] owns an SMT solver and the symbol tables that mirror the
+//! The `Encoder` owns an SMT solver and the symbol tables that mirror the
 //! paper's SMT functions:
 //!
 //! | paper symbol        | representation here                                    |

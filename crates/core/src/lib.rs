@@ -12,8 +12,11 @@
 //!    produce (Section 4.1 / 4.5 of the paper: reads before the per-session
 //!    prediction boundary keep their observed writers),
 //! 2. *unserializable* (Section 4.2), and
-//! 3. valid under a target **weak isolation level** — causal consistency or
-//!    read committed (Section 4.3).
+//! 3. valid under a target **weak isolation level** (Section 4.3) — causal
+//!    consistency, read committed, or snapshot isolation, each a row of the
+//!    pluggable isolation seam ([`isopredict_history::isolation`] for the
+//!    checker/chooser half, this crate's encoder axiom table for the SMT
+//!    half).
 //!
 //! The search is expressed as constraints over writer-choice variables and
 //! solved with the workspace's own SMT substrate (`isopredict-smt`). Predicted

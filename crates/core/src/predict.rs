@@ -336,25 +336,62 @@ mod tests {
     #[test]
     fn predictions_conform_to_the_requested_isolation_level() {
         let observed = deposit_withdraw_deposit();
-        for isolation in [IsolationLevel::Causal, IsolationLevel::ReadCommitted] {
+        for isolation in IsolationLevel::ALL {
             let outcome = predictor(Strategy::ApproxRelaxed, isolation).predict(&observed);
             if let Some(prediction) = outcome.prediction() {
-                match isolation {
-                    IsolationLevel::Causal => {
-                        assert!(isopredict_history::causal::is_causal(&prediction.predicted));
-                    }
-                    IsolationLevel::ReadCommitted => {
-                        assert!(isopredict_history::readcommitted::is_read_committed(
-                            &prediction.predicted
-                        ));
-                    }
-                }
+                assert!(
+                    isolation.is_conformant(&prediction.predicted),
+                    "{isolation}: prediction must conform to its level"
+                );
                 assert!(
                     !serializability::check(&prediction.predicted).is_serializable(),
                     "{isolation}: prediction must be unserializable"
                 );
             }
         }
+    }
+
+    #[test]
+    fn snapshot_finds_nothing_in_single_key_rmw_histories() {
+        // Every anomaly reachable from a single-key read-modify-write chain is
+        // a lost update, which first-committer-wins forbids — while causal
+        // still predicts one (the racing deposits).
+        let observed = chained_deposits();
+        let causal = predictor(Strategy::ApproxRelaxed, IsolationLevel::Causal).predict(&observed);
+        assert!(causal.is_prediction());
+        let si = predictor(Strategy::ApproxRelaxed, IsolationLevel::Snapshot).predict(&observed);
+        assert!(si.is_no_prediction(), "{si:?}");
+        let longer = deposit_withdraw_deposit();
+        let si = predictor(Strategy::ApproxRelaxed, IsolationLevel::Snapshot).predict(&longer);
+        assert!(si.is_no_prediction(), "{si:?}");
+    }
+
+    #[test]
+    fn snapshot_predicts_write_skew() {
+        // Two sessions guarding a two-key invariant: the predictor must find
+        // the write-skew execution (stale crossed reads, disjoint writes) —
+        // SI-legal by the independent checker, yet unserializable.
+        let mut b = isopredict_history::HistoryBuilder::new();
+        let s1 = b.session("s1");
+        let s2 = b.session("s2");
+        let t1 = b.begin(s1);
+        b.read(t1, "x", TxnId::INITIAL);
+        b.read(t1, "y", TxnId::INITIAL);
+        b.write(t1, "y");
+        b.commit(t1);
+        let t2 = b.begin(s2);
+        b.read(t2, "y", t1);
+        b.read(t2, "x", TxnId::INITIAL);
+        b.write(t2, "x");
+        b.commit(t2);
+        let observed = b.finish();
+
+        let outcome =
+            predictor(Strategy::ApproxRelaxed, IsolationLevel::Snapshot).predict(&observed);
+        let prediction = outcome.prediction().expect("write skew must be predicted");
+        assert!(isopredict_history::si::is_si(&prediction.predicted));
+        assert!(!serializability::check(&prediction.predicted).is_serializable());
+        assert!(!prediction.changed_reads.is_empty());
     }
 
     #[test]

@@ -1,0 +1,267 @@
+//! The pluggable isolation-level seam.
+//!
+//! Every layer of the pipeline that cares about a weak isolation level —
+//! the store's legal-writer chooser, validation's controlled replay, the
+//! history-level conformance deciders, campaign/report identity — goes
+//! through [`IsolationSemantics`]: one table entry per level bundling the
+//! level's identity (name, parse aliases) with its history conformance
+//! checker and chooser behavior. The SMT axiom emitters live in the
+//! `isopredict` (core) crate's encoder, keyed by the same [`IsolationLevel`],
+//! because they operate on encoder internals; together the two tables are the
+//! only level-dispatch sites in the workspace.
+//!
+//! Adding a level is a one-module change: implement a conformance checker
+//! (see [`crate::si`] for the newest example), add a [`SEMANTICS`] row here,
+//! and add the matching axiom emitter row in the core encoder.
+
+use serde::{Deserialize, Serialize};
+
+use crate::history::History;
+use crate::ids::TxnId;
+use crate::{causal, readcommitted, si};
+
+/// The weak isolation levels supported by the analysis (Section 2 of the
+/// paper plus the snapshot-isolation extension the paper names as the natural
+/// next level).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IsolationLevel {
+    /// Causal consistency.
+    Causal,
+    /// Read committed.
+    ReadCommitted,
+    /// Snapshot isolation (first-committer-wins write conflicts).
+    Snapshot,
+}
+
+/// One row of the isolation seam: everything the store, validator and
+/// campaign layers need to know about a level, minus the SMT axiom emitter
+/// (which lives with the encoder in the core crate).
+#[derive(Debug, Clone, Copy)]
+pub struct IsolationSemantics {
+    /// The level this row describes.
+    pub level: IsolationLevel,
+    /// Canonical display name (also accepted by the parser).
+    pub name: &'static str,
+    /// Additional spellings accepted by the parser.
+    pub aliases: &'static [&'static str],
+    /// The conformance decider: a commit order witnessing that the history is
+    /// valid under this level, or `None` if it is not.
+    pub conformance: fn(&History) -> Option<Vec<TxnId>>,
+    /// Whether the level constrains *write–write* conflicts (first-committer
+    /// wins). When true, the store's legal-writer chooser must account for
+    /// the open transaction's declared write set, not just its reads.
+    pub write_conflicts: bool,
+}
+
+impl IsolationSemantics {
+    /// Whether `history` is valid under this level.
+    #[must_use]
+    pub fn is_conformant(&self, history: &History) -> bool {
+        (self.conformance)(history).is_some()
+    }
+
+    /// A commit order witnessing conformance, or `None`.
+    #[must_use]
+    pub fn commit_order(&self, history: &History) -> Option<Vec<TxnId>> {
+        (self.conformance)(history)
+    }
+}
+
+/// The seam table: one row per supported level, in [`IsolationLevel::ALL`]
+/// order.
+pub const SEMANTICS: [IsolationSemantics; 3] = [
+    IsolationSemantics {
+        level: IsolationLevel::Causal,
+        name: "causal",
+        aliases: &["cc", "causal-consistency"],
+        conformance: causal::causal_commit_order,
+        write_conflicts: false,
+    },
+    IsolationSemantics {
+        level: IsolationLevel::ReadCommitted,
+        name: "read committed",
+        aliases: &["rc", "read-committed"],
+        conformance: readcommitted::rc_commit_order,
+        write_conflicts: false,
+    },
+    IsolationSemantics {
+        level: IsolationLevel::Snapshot,
+        name: "snapshot isolation",
+        aliases: &["si", "snapshot", "snapshot-isolation"],
+        conformance: si::si_commit_order,
+        write_conflicts: true,
+    },
+];
+
+impl IsolationLevel {
+    /// All supported levels, in the order campaigns and tables list them.
+    pub const ALL: [IsolationLevel; 3] = [
+        IsolationLevel::Causal,
+        IsolationLevel::ReadCommitted,
+        IsolationLevel::Snapshot,
+    ];
+
+    /// This level's row of the seam table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the level has no [`SEMANTICS`] row, which would be a bug:
+    /// the table is required to cover every variant.
+    #[must_use]
+    pub fn semantics(self) -> &'static IsolationSemantics {
+        SEMANTICS
+            .iter()
+            .find(|semantics| semantics.level == self)
+            .expect("every isolation level has a semantics row")
+    }
+
+    /// Whether `history` is valid under this level.
+    #[must_use]
+    pub fn is_conformant(self, history: &History) -> bool {
+        self.semantics().is_conformant(history)
+    }
+
+    /// A commit order witnessing that `history` is valid under this level,
+    /// or `None` if it is not.
+    #[must_use]
+    pub fn commit_order(self, history: &History) -> Option<Vec<TxnId>> {
+        self.semantics().commit_order(history)
+    }
+}
+
+impl std::fmt::Display for IsolationLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.semantics().name)
+    }
+}
+
+/// Error returned when parsing an [`IsolationLevel`] from an unknown name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseIsolationLevelError {
+    attempted: String,
+}
+
+impl std::fmt::Display for ParseIsolationLevelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unknown isolation level `{}`; accepted:", self.attempted)?;
+        for semantics in &SEMANTICS {
+            let dashed = semantics.name.replace(' ', "-");
+            write!(f, " {dashed}")?;
+            for alias in semantics.aliases {
+                if *alias != dashed {
+                    write!(f, "|{alias}")?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for ParseIsolationLevelError {}
+
+impl std::str::FromStr for IsolationLevel {
+    type Err = ParseIsolationLevelError;
+
+    /// Parses a level by canonical name or alias, case-insensitively; spaces,
+    /// dashes and underscores are interchangeable (`rc`, `read-committed`,
+    /// `read committed`, `si`, `snapshot`, … all parse).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let normalized = s.trim().to_lowercase().replace(['-', '_'], " ");
+        SEMANTICS
+            .iter()
+            .find(|semantics| {
+                semantics.name == normalized
+                    || semantics
+                        .aliases
+                        .iter()
+                        .any(|alias| alias.replace('-', " ") == normalized)
+            })
+            .map(|semantics| semantics.level)
+            .ok_or_else(|| ParseIsolationLevelError {
+                attempted: s.to_string(),
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HistoryBuilder;
+
+    #[test]
+    fn display_uses_the_seam_names() {
+        assert_eq!(IsolationLevel::Causal.to_string(), "causal");
+        assert_eq!(IsolationLevel::ReadCommitted.to_string(), "read committed");
+        assert_eq!(IsolationLevel::Snapshot.to_string(), "snapshot isolation");
+    }
+
+    #[test]
+    fn display_and_parse_round_trip() {
+        for level in IsolationLevel::ALL {
+            let rendered = level.to_string();
+            assert_eq!(rendered.parse::<IsolationLevel>(), Ok(level), "{rendered}");
+        }
+    }
+
+    #[test]
+    fn aliases_parse_to_their_level() {
+        for (spelling, expected) in [
+            ("causal", IsolationLevel::Causal),
+            ("CAUSAL", IsolationLevel::Causal),
+            ("rc", IsolationLevel::ReadCommitted),
+            ("read-committed", IsolationLevel::ReadCommitted),
+            ("read_committed", IsolationLevel::ReadCommitted),
+            ("si", IsolationLevel::Snapshot),
+            ("snapshot", IsolationLevel::Snapshot),
+            ("snapshot-isolation", IsolationLevel::Snapshot),
+        ] {
+            assert_eq!(
+                spelling.parse::<IsolationLevel>(),
+                Ok(expected),
+                "{spelling}"
+            );
+        }
+        let err = "serializable".parse::<IsolationLevel>().unwrap_err();
+        assert!(err.to_string().contains("serializable"), "{err}");
+        assert!(err.to_string().contains("snapshot"), "{err}");
+    }
+
+    #[test]
+    fn every_level_has_a_semantics_row() {
+        for level in IsolationLevel::ALL {
+            let semantics = level.semantics();
+            assert_eq!(semantics.level, level);
+            assert!(!semantics.name.is_empty());
+        }
+        assert_eq!(SEMANTICS.len(), IsolationLevel::ALL.len());
+    }
+
+    #[test]
+    fn conformance_dispatches_to_the_level_checkers() {
+        // Racing deposits: causal and rc, but a lost update — not SI.
+        let mut b = HistoryBuilder::new();
+        let s1 = b.session("s1");
+        let s2 = b.session("s2");
+        let t1 = b.begin(s1);
+        b.read(t1, "acct", TxnId::INITIAL);
+        b.write(t1, "acct");
+        b.commit(t1);
+        let t2 = b.begin(s2);
+        b.read(t2, "acct", TxnId::INITIAL);
+        b.write(t2, "acct");
+        b.commit(t2);
+        let racing = b.finish();
+        assert!(IsolationLevel::Causal.is_conformant(&racing));
+        assert!(IsolationLevel::ReadCommitted.is_conformant(&racing));
+        assert!(!IsolationLevel::Snapshot.is_conformant(&racing));
+        assert!(IsolationLevel::Causal.commit_order(&racing).is_some());
+        assert!(IsolationLevel::Snapshot.commit_order(&racing).is_none());
+    }
+
+    #[test]
+    fn only_snapshot_constrains_write_conflicts() {
+        assert!(!IsolationLevel::Causal.semantics().write_conflicts);
+        assert!(!IsolationLevel::ReadCommitted.semantics().write_conflicts);
+        assert!(IsolationLevel::Snapshot.semantics().write_conflicts);
+    }
+}

@@ -11,10 +11,11 @@
 //!   arbitration order `ww`, the causal arbitration order `ww_causal`, the
 //!   read-committed arbitration order `ww_rc`, and anti-dependencies `rw`
 //!   (see [`relations`]);
-//! * deciders for the three isolation levels used in the paper:
-//!   [`serializability`] (via a SAT encoding of the commit-order axioms,
-//!   since the problem is NP-hard), [`causal`] and [`readcommitted`]
-//!   (polynomial acyclicity checks);
+//! * deciders for the isolation levels: [`serializability`] and [`si`]
+//!   (via SAT encodings of the commit-order axioms, since both problems are
+//!   NP-hard), [`causal`] and [`readcommitted`] (polynomial acyclicity
+//!   checks) — bundled per level behind the [`isolation`] seam so that every
+//!   other layer dispatches through [`IsolationLevel::semantics`];
 //! * a serde-friendly [`trace`] format for recorded executions and a
 //!   [`dot`] renderer for the paper-style history graphs.
 //!
@@ -50,9 +51,11 @@ pub mod causal;
 pub mod connectivity;
 pub mod dot;
 pub mod graph;
+pub mod isolation;
 pub mod readcommitted;
 pub mod relations;
 pub mod serializability;
+pub mod si;
 pub mod trace;
 
 mod builder;
@@ -65,6 +68,7 @@ pub use connectivity::{KeyComponents, UnionFind};
 pub use event::{Event, EventKind};
 pub use history::{History, Transaction};
 pub use ids::{KeyId, SessionId, TxnId};
+pub use isolation::{IsolationLevel, IsolationSemantics, ParseIsolationLevelError};
 pub use serializability::SerializabilityResult;
 pub use trace::{OpTrace, SessionTrace, Trace, TraceError, TxnTrace};
 

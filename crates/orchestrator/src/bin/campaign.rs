@@ -3,9 +3,9 @@
 //!
 //! Usage:
 //! `cargo run --release -p isopredict-orchestrator --bin campaign -- \
-//!     [--paper] [--benchmarks smallbank,voter,tpcc,wikipedia] [--seeds N] \
+//!     [--paper] [--benchmarks smallbank,voter,tpcc,wikipedia,overdraft] [--seeds N] \
 //!     [--strategies exact-strict,approx-strict,approx-relaxed] \
-//!     [--isolation causal,rc] [--size small|large] [--budget N] \
+//!     [--isolation causal,rc,si] [--size small|large] [--budget N] \
 //!     [--workers N] [--shard auto|never|always] [--out PATH]`
 
 use isopredict::{IsolationLevel, Strategy};
@@ -111,6 +111,7 @@ fn parse_benchmark(name: &str) -> Benchmark {
         "voter" => Benchmark::Voter,
         "tpcc" | "tpc-c" => Benchmark::Tpcc,
         "wikipedia" => Benchmark::Wikipedia,
+        "overdraft" => Benchmark::Overdraft,
         other => panic!("unknown benchmark `{other}`"),
     }
 }
@@ -125,11 +126,7 @@ fn parse_strategy(name: &str) -> Strategy {
 }
 
 fn parse_isolation(name: &str) -> IsolationLevel {
-    match name {
-        "causal" => IsolationLevel::Causal,
-        "rc" | "read-committed" => IsolationLevel::ReadCommitted,
-        other => panic!("unknown isolation level `{other}`"),
-    }
+    name.parse().unwrap_or_else(|error| panic!("{error}"))
 }
 
 fn arg(args: &[String], name: &str) -> Option<String> {

@@ -118,6 +118,61 @@ impl ShardPlan {
             ShardUnit::Component { txns, .. } => observed.restrict(txns, false),
         }
     }
+
+    /// Splits one experiment's solver conflict budget across this plan's
+    /// units, proportionally to component size (largest-remainder rounding,
+    /// so the shares sum to exactly the whole-history budget): a sharded run
+    /// must never be granted more total budget than the whole-history run it
+    /// replaces. An unlimited budget (`None`) stays unlimited for every unit,
+    /// and unsharded plans pass the full budget through to their single unit.
+    #[must_use]
+    pub fn unit_budgets(&self, budget: Option<u64>) -> Vec<Option<u64>> {
+        let Some(total) = budget else {
+            return vec![None; self.units.len()];
+        };
+        if !self.sharded {
+            return vec![Some(total); self.units.len()];
+        }
+        let sizes: Vec<usize> = self
+            .units
+            .iter()
+            .map(|unit| match unit {
+                ShardUnit::Whole => 0,
+                ShardUnit::Component { txns, .. } => txns.len(),
+            })
+            .collect();
+        apportion(total, &sizes).into_iter().map(Some).collect()
+    }
+}
+
+/// Largest-remainder apportionment of `total` across `sizes`: allocations are
+/// proportional, sum to exactly `total` (when some size is nonzero), and are
+/// deterministic (remainders tie-break by index).
+fn apportion(total: u64, sizes: &[usize]) -> Vec<u64> {
+    let sum: u128 = sizes.iter().map(|&s| s as u128).sum();
+    if sum == 0 {
+        return vec![0; sizes.len()];
+    }
+    let mut allocations: Vec<u64> = sizes
+        .iter()
+        .map(|&s| ((u128::from(total) * s as u128) / sum) as u64)
+        .collect();
+    let mut remainder = total - allocations.iter().sum::<u64>();
+    let mut order: Vec<usize> = (0..sizes.len()).collect();
+    order.sort_by_key(|&i| {
+        (
+            std::cmp::Reverse((u128::from(total) * sizes[i] as u128) % sum),
+            i,
+        )
+    });
+    for &i in &order {
+        if remainder == 0 {
+            break;
+        }
+        allocations[i] += 1;
+        remainder -= 1;
+    }
+    allocations
 }
 
 #[cfg(test)]
@@ -201,6 +256,64 @@ mod tests {
         let plan = ShardPlan::new(&skewed, ShardPolicy::Auto { dominance: 0.5 });
         assert!(!plan.sharded, "dominant component must disable sharding");
         assert_eq!(plan.units, vec![ShardUnit::Whole]);
+    }
+
+    #[test]
+    fn sharded_budgets_never_exceed_the_whole_history_budget() {
+        // Components of sizes 2/2/2 plus skewed mixes: the per-unit shares
+        // must be proportional and sum to exactly the experiment budget.
+        for pairs in 2..6 {
+            let history = disjoint_history(pairs);
+            let plan = ShardPlan::new(&history, ShardPolicy::Always);
+            assert!(plan.sharded);
+            for budget in [1u64, 7, 100, 2_000_000] {
+                let shares = plan.unit_budgets(Some(budget));
+                let total: u64 = shares.iter().map(|b| b.expect("budgeted")).sum();
+                assert!(
+                    total <= budget,
+                    "sharded total {total} exceeds whole-history budget {budget}"
+                );
+                assert_eq!(total, budget, "shares must not waste budget either");
+            }
+        }
+    }
+
+    #[test]
+    fn budget_shares_are_proportional_to_component_size() {
+        // One 4-txn component and one 2-txn component.
+        let mut b = HistoryBuilder::new();
+        let s1 = b.session("big-a");
+        let s2 = b.session("big-b");
+        for session in [s1, s2] {
+            for _ in 0..2 {
+                let t = b.begin(session);
+                b.read(t, "big", TxnId::INITIAL);
+                b.write(t, "big");
+                b.commit(t);
+            }
+        }
+        let s3 = b.session("small-a");
+        let s4 = b.session("small-b");
+        let t = b.begin(s3);
+        b.write(t, "small");
+        b.commit(t);
+        let u = b.begin(s4);
+        b.read(u, "small", t);
+        b.commit(u);
+        let history = b.finish();
+        let plan = ShardPlan::new(&history, ShardPolicy::Always);
+        assert!(plan.sharded);
+        let shares = plan.unit_budgets(Some(600_000));
+        assert_eq!(shares, vec![Some(400_000), Some(200_000)]);
+    }
+
+    #[test]
+    fn unsharded_and_unlimited_budgets_pass_through() {
+        let history = disjoint_history(3);
+        let plan = ShardPlan::new(&history, ShardPolicy::Never);
+        assert_eq!(plan.unit_budgets(Some(5)), vec![Some(5)]);
+        let sharded = ShardPlan::new(&history, ShardPolicy::Always);
+        assert_eq!(sharded.unit_budgets(None), vec![None; 3]);
     }
 
     #[test]

@@ -72,7 +72,7 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
     /// Merged per-component analysis ≡ whole-history analysis (outcome
-    /// class), for both isolation levels.
+    /// class), for every isolation level of the seam.
     #[test]
     fn merged_component_predictions_match_whole_history_analysis(
         layouts in layouts_strategy()
@@ -86,6 +86,10 @@ proptest! {
             "construction must yield multiple components"
         );
 
+        // Causal and read committed only: whole-history *no-prediction*
+        // proofs under snapshot isolation routinely exhaust the solver budget
+        // in debug builds (SI equivalence is covered by the campaign smoke
+        // test and the core predictor tests on smaller histories).
         for isolation in [IsolationLevel::Causal, IsolationLevel::ReadCommitted] {
             let predictor = Predictor::new(PredictorConfig {
                 strategy: PredictionStrategy::ApproxRelaxed,
@@ -126,16 +130,11 @@ proptest! {
                     !serializability::check(&prediction.predicted).is_serializable(),
                     "embedded prediction must be unserializable"
                 );
-                match isolation {
-                    IsolationLevel::Causal => prop_assert!(
-                        isopredict_history::causal::is_causal(&prediction.predicted)
-                    ),
-                    IsolationLevel::ReadCommitted => prop_assert!(
-                        isopredict_history::readcommitted::is_read_committed(
-                            &prediction.predicted
-                        )
-                    ),
-                }
+                prop_assert!(
+                    isolation.is_conformant(&prediction.predicted),
+                    "{}: embedded prediction must conform to its level",
+                    isolation
+                );
                 prop_assert!(!prediction.changed_reads.is_empty());
             }
         }

@@ -6,7 +6,7 @@ use proptest::prelude::*;
 
 use isopredict::Strategy as PredictionStrategy;
 use isopredict::{IsolationLevel, PredictionOutcome, Predictor, PredictorConfig};
-use isopredict_history::{causal, readcommitted, serializability, History, HistoryBuilder, TxnId};
+use isopredict_history::{serializability, History, HistoryBuilder, TxnId};
 
 /// Builds a random *serializable-by-construction* observed history: sessions
 /// execute read-modify-write transactions over a few keys, and every read
@@ -57,6 +57,11 @@ proptest! {
         let observed = observed_history(&layout);
         prop_assert!(serializability::check(&observed).is_serializable());
 
+        // Causal and read committed only: these generator layouts are
+        // read-modify-write chains, where snapshot-isolation predictions
+        // essentially never exist and the solver would spend the whole
+        // budget on unsat proofs (SI soundness is covered by the dedicated
+        // write-skew tests and the campaign smoke test).
         for isolation in [IsolationLevel::Causal, IsolationLevel::ReadCommitted] {
             let predictor = Predictor::new(PredictorConfig {
                 strategy: PredictionStrategy::ApproxRelaxed,
@@ -70,14 +75,11 @@ proptest! {
                         !serializability::check(&prediction.predicted).is_serializable(),
                         "prediction must be unserializable"
                     );
-                    match isolation {
-                        IsolationLevel::Causal => {
-                            prop_assert!(causal::is_causal(&prediction.predicted));
-                        }
-                        IsolationLevel::ReadCommitted => {
-                            prop_assert!(readcommitted::is_read_committed(&prediction.predicted));
-                        }
-                    }
+                    prop_assert!(
+                        isolation.is_conformant(&prediction.predicted),
+                        "{}: prediction must conform to its level",
+                        isolation
+                    );
                     prop_assert!(!prediction.changed_reads.is_empty());
                 }
                 PredictionOutcome::NoPrediction { .. } | PredictionOutcome::Unknown => {}

@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 
-use isopredict_history::{causal, readcommitted, serializability, HistoryBuilder, TxnId};
+use isopredict_history::{causal, readcommitted, serializability, si, HistoryBuilder, TxnId};
 use isopredict_store::{Engine, IsolationLevel, StoreMode, Value};
 
 /// A small random program: per session, a list of transactions, each a list
@@ -31,6 +31,13 @@ fn run_program(program: &[Vec<Vec<(u8, bool)>>], mode: StoreMode) -> isopredict_
                 continue;
             };
             let mut txn = clients[session].begin();
+            // Declare the write set up front, as a snapshot-isolation client
+            // (ignored by the other levels).
+            txn.declare_writes(
+                ops.iter()
+                    .filter(|(_, is_write)| *is_write)
+                    .map(|(key, _)| format!("k{key}")),
+            );
             for (key, is_write) in ops {
                 let key = format!("k{key}");
                 if *is_write {
@@ -54,8 +61,11 @@ proptest! {
     fn serializable_recording_is_serializable(program in program_strategy()) {
         let history = run_program(&program, StoreMode::SerializableRecord);
         prop_assert!(serializability::check(&history).is_serializable());
-        prop_assert!(causal::is_causal(&history));
-        prop_assert!(readcommitted::is_read_committed(&history));
+        // Serializability is the strongest level of the seam: every weaker
+        // checker — snapshot isolation included — must accept the history.
+        for level in IsolationLevel::ALL {
+            prop_assert!(level.is_conformant(&history), "{}", level);
+        }
     }
 
     /// Random weak executions always conform to their isolation level.
@@ -80,6 +90,19 @@ proptest! {
         prop_assert!(readcommitted::is_read_committed(&history));
     }
 
+    /// Random weak snapshot-isolation executions conform to SI — the
+    /// declared-write-set chooser really does enforce first-committer-wins.
+    #[test]
+    fn weak_random_snapshot_is_si(program in program_strategy(), seed in 0u64..1000) {
+        let history = run_program(
+            &program,
+            StoreMode::WeakRandom { level: IsolationLevel::Snapshot, seed },
+        );
+        prop_assert!(si::is_si(&history));
+        // SI implies causal (and hence read committed) in this framework.
+        prop_assert!(causal::is_causal(&history));
+    }
+
     /// Serializability is monotone under event removal: dropping transactions
     /// (and the reads that observed them) from a serializable history keeps
     /// it serializable, because removing events only removes constraints.
@@ -100,12 +123,12 @@ proptest! {
     }
 }
 
-/// Deterministic regression: the serializability checker, causal checker and
-/// rc checker agree on the strictness ordering serializable ⊂ causal ⊂ rc for
-/// the paper's running examples.
+/// Deterministic regression: the checkers agree on the strictness ordering
+/// serializable ⊂ snapshot isolation ⊂ causal ⊂ rc on the running examples.
 #[test]
 fn isolation_level_strictness_on_the_paper_examples() {
-    // Racing deposits: causal and rc but not serializable.
+    // Racing deposits (a lost update): causal and rc but neither
+    // serializable nor SI.
     let mut b = HistoryBuilder::new();
     let s1 = b.session("s1");
     let s2 = b.session("s2");
@@ -119,6 +142,25 @@ fn isolation_level_strictness_on_the_paper_examples() {
     b.commit(t2);
     let racing = b.finish();
     assert!(!serializability::check(&racing).is_serializable());
+    assert!(!si::is_si(&racing));
     assert!(causal::is_causal(&racing));
     assert!(readcommitted::is_read_committed(&racing));
+
+    // Write skew: SI (and so causal and rc) but not serializable.
+    let mut b = HistoryBuilder::new();
+    let s1 = b.session("s1");
+    let s2 = b.session("s2");
+    let t1 = b.begin(s1);
+    b.read(t1, "x", TxnId::INITIAL);
+    b.write(t1, "y");
+    b.commit(t1);
+    let t2 = b.begin(s2);
+    b.read(t2, "y", TxnId::INITIAL);
+    b.write(t2, "x");
+    b.commit(t2);
+    let skew = b.finish();
+    assert!(!serializability::check(&skew).is_serializable());
+    assert!(si::is_si(&skew));
+    assert!(causal::is_causal(&skew));
+    assert!(readcommitted::is_read_committed(&skew));
 }

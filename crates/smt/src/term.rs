@@ -5,7 +5,7 @@ use std::collections::HashMap;
 use crate::fd::FdVar;
 use crate::order::OrderNode;
 
-/// Identifier of a term inside a [`TermPool`].
+/// Identifier of a term inside a `TermPool`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TermId(pub(crate) u32);
 

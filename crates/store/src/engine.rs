@@ -34,6 +34,10 @@ pub struct RunStats {
 struct OpenState {
     txn: TxnId,
     write_buffer: HashMap<String, Value>,
+    /// Keys the application announced it may write (see
+    /// [`OpenTxn::declare_writes`]); consulted by write-conflict-sensitive
+    /// isolation levels when choosing legal writers.
+    declared_writes: Vec<String>,
 }
 
 #[derive(Debug)]
@@ -150,9 +154,20 @@ impl Engine {
             OpenState {
                 txn,
                 write_buffer: HashMap::new(),
+                declared_writes: Vec::new(),
             },
         );
         txn
+    }
+
+    fn declare_writes(&self, session: SessionId, keys: Vec<String>) {
+        let mut inner = self.inner.lock();
+        let open = inner.open.get_mut(&session).expect("transaction is open");
+        for key in keys {
+            if !open.declared_writes.contains(&key) {
+                open.declared_writes.push(key);
+            }
+        }
     }
 
     fn get(&self, session: SessionId, key: &str) -> Option<Value> {
@@ -215,20 +230,30 @@ impl Inner {
             .map(|v| v.writer)
             .unwrap_or(TxnId::INITIAL);
 
-        // Detach the mode from `self` so the arms below may borrow the rest of
-        // the engine state mutably.
+        // Detach the mode from `self` so the arms below may borrow the rest
+        // of the engine state mutably; the chooser-driven arms additionally
+        // detach the open transaction's declared write set (the recording
+        // modes never consult it, so they skip the clone).
         let mode = self.mode.clone();
         match &mode {
             StoreMode::SerializableRecord | StoreMode::RealisticRc => latest,
             StoreMode::WeakRandom { level, .. } => {
                 let level = *level;
+                let declared = self.declared_writes_of(session);
                 let candidates = self.candidates(key);
-                let legal =
-                    chooser::legal_writers(&self.builder, open_txn, key, &candidates, level);
+                let legal = chooser::legal_writers(
+                    &self.builder,
+                    open_txn,
+                    &declared,
+                    key,
+                    &candidates,
+                    level,
+                );
                 legal.choose(&mut self.rng).copied().unwrap_or(latest)
             }
             StoreMode::Controlled { level, script } => {
                 let level = *level;
+                let declared = self.declared_writes_of(session);
                 let position = self.builder.next_position(session);
                 let Some(choice) = script.choice(session, position) else {
                     self.divergences.push(Divergence {
@@ -237,7 +262,7 @@ impl Inner {
                         kind: DivergenceKind::PastPrediction,
                         key: key.to_string(),
                     });
-                    return self.fallback_writer(session, open_txn, key, level, latest);
+                    return self.fallback_writer(&declared, open_txn, key, level, latest);
                 };
                 if choice.key != key {
                     self.divergences.push(Divergence {
@@ -246,7 +271,7 @@ impl Inner {
                         kind: DivergenceKind::DifferentKey,
                         key: key.to_string(),
                     });
-                    return self.fallback_writer(session, open_txn, key, level, latest);
+                    return self.fallback_writer(&declared, open_txn, key, level, latest);
                 }
                 // Resolve the predicted writer against this (validating) execution.
                 let resolved = match choice.writer {
@@ -264,7 +289,7 @@ impl Inner {
                         kind: DivergenceKind::WriterMissing,
                         key: key.to_string(),
                     });
-                    return self.fallback_writer(session, open_txn, key, level, latest);
+                    return self.fallback_writer(&declared, open_txn, key, level, latest);
                 };
                 let wrote_key = writer.is_initial() || self.store.by_writer(key, writer).is_some();
                 if !wrote_key {
@@ -274,20 +299,29 @@ impl Inner {
                         kind: DivergenceKind::WriterMissing,
                         key: key.to_string(),
                     });
-                    return self.fallback_writer(session, open_txn, key, level, latest);
+                    return self.fallback_writer(&declared, open_txn, key, level, latest);
                 }
-                if !chooser::is_legal(&self.builder, open_txn, key, writer, level) {
+                if !chooser::is_legal(&self.builder, open_txn, &declared, key, writer, level) {
                     self.divergences.push(Divergence {
                         session,
                         position,
                         kind: DivergenceKind::IsolationViolation,
                         key: key.to_string(),
                     });
-                    return self.fallback_writer(session, open_txn, key, level, latest);
+                    return self.fallback_writer(&declared, open_txn, key, level, latest);
                 }
                 writer
             }
         }
+    }
+
+    /// The open transaction's declared write set (see
+    /// [`OpenTxn::declare_writes`]), detached for the chooser.
+    fn declared_writes_of(&self, session: SessionId) -> Vec<String> {
+        self.open
+            .get(&session)
+            .map(|open| open.declared_writes.clone())
+            .unwrap_or_default()
     }
 
     /// Candidate writers of `key`: every committed transaction with a version
@@ -308,14 +342,21 @@ impl Inner {
     /// committed writer if, unexpectedly, none is legal).
     fn fallback_writer(
         &mut self,
-        _session: SessionId,
+        declared_writes: &[String],
         open_txn: TxnId,
         key: &str,
         level: IsolationLevel,
         latest: TxnId,
     ) -> TxnId {
         let candidates = self.candidates(key);
-        let legal = chooser::legal_writers(&self.builder, open_txn, key, &candidates, level);
+        let legal = chooser::legal_writers(
+            &self.builder,
+            open_txn,
+            declared_writes,
+            key,
+            &candidates,
+            level,
+        );
         // Prefer the latest committed legal writer for determinism.
         legal
             .iter()
@@ -375,6 +416,25 @@ impl<'e> OpenTxn<'e> {
     #[must_use]
     pub fn id(&self) -> TxnId {
         self.txn
+    }
+
+    /// Declares keys this transaction may write before it commits.
+    ///
+    /// Write-conflict-sensitive isolation levels (snapshot isolation's
+    /// first-committer-wins rule) charge the transaction with its declared
+    /// writes when picking legal writers for its reads, so a read-modify-write
+    /// never observes a version it would conflict with at commit time.
+    /// Over-declaring (a conditional write that ends up skipped) is sound —
+    /// the chooser just becomes more conservative; under-declaring can let a
+    /// later write break the level. Levels without write-conflict rules
+    /// (causal, read committed) ignore the declaration entirely.
+    pub fn declare_writes<I, K>(&mut self, keys: I)
+    where
+        I: IntoIterator<Item = K>,
+        K: Into<String>,
+    {
+        self.engine
+            .declare_writes(self.session, keys.into_iter().map(Into::into).collect());
     }
 
     /// Reads `key`, returning `None` if the key has no value (never written,
@@ -539,6 +599,72 @@ mod tests {
                 "seed {seed}"
             );
         }
+    }
+
+    #[test]
+    fn weak_random_snapshot_executions_stay_si_and_never_lose_updates() {
+        // Racing read-modify-writes with declared write sets: under snapshot
+        // isolation the second deposit must observe the first (first-committer
+        // wins), so no seed may lose an update.
+        for seed in 0..10 {
+            let engine = Engine::new(StoreMode::WeakRandom {
+                level: IsolationLevel::Snapshot,
+                seed,
+            });
+            engine.set_initial("acct", Value::Int(0));
+            let c1 = engine.client("c1");
+            let c2 = engine.client("c2");
+            for client in [&c1, &c2] {
+                let mut t = client.begin();
+                t.declare_writes(["acct"]);
+                let balance = t.get_int("acct", 0);
+                t.put("acct", balance + 10);
+                t.commit();
+            }
+            let history = engine.history();
+            assert!(isopredict_history::si::is_si(&history), "seed {seed}");
+            assert_eq!(
+                engine.peek_int("acct", 0),
+                20,
+                "seed {seed}: snapshot isolation must not lose updates"
+            );
+        }
+    }
+
+    #[test]
+    fn weak_random_snapshot_can_produce_write_skew() {
+        // Two withdrawals guarded by a combined-balance invariant, each
+        // writing its own key: no write–write conflict, so snapshot isolation
+        // lets some seed interleave them into the classic write skew.
+        let mut found_write_skew = false;
+        for seed in 0..40 {
+            let engine = Engine::new(StoreMode::WeakRandom {
+                level: IsolationLevel::Snapshot,
+                seed,
+            });
+            engine.set_initial("x", Value::Int(50));
+            engine.set_initial("y", Value::Int(50));
+            let c1 = engine.client("c1");
+            let c2 = engine.client("c2");
+            for (client, own) in [(&c1, "x"), (&c2, "y")] {
+                let mut t = client.begin();
+                t.declare_writes([own]);
+                let x = t.get_int("x", 0);
+                let y = t.get_int("y", 0);
+                if x + y >= 60 {
+                    let own_balance = if own == "x" { x } else { y };
+                    t.put(own, own_balance - 60);
+                }
+                t.commit();
+            }
+            let history = engine.history();
+            assert!(isopredict_history::si::is_si(&history), "seed {seed}");
+            if !serializability::check(&history).is_serializable() {
+                found_write_skew = true;
+                break;
+            }
+        }
+        assert!(found_write_skew, "no seed produced the write-skew anomaly");
     }
 
     #[test]

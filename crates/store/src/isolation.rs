@@ -1,26 +1,12 @@
-//! Store execution modes and isolation levels.
+//! Store execution modes.
+//!
+//! The isolation levels themselves — and the per-level semantics the chooser
+//! dispatches through — live in [`isopredict_history::isolation`]; the store
+//! re-exports [`IsolationLevel`] so its API is self-contained.
 
-use serde::{Deserialize, Serialize};
+pub use isopredict_history::IsolationLevel;
 
 use crate::replay::ReplayScript;
-
-/// The weak isolation levels supported by the analysis (Section 2 of the paper).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub enum IsolationLevel {
-    /// Causal consistency.
-    Causal,
-    /// Read committed.
-    ReadCommitted,
-}
-
-impl std::fmt::Display for IsolationLevel {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            IsolationLevel::Causal => write!(f, "causal"),
-            IsolationLevel::ReadCommitted => write!(f, "read committed"),
-        }
-    }
-}
 
 /// How the store chooses the writer each read observes.
 #[derive(Debug, Clone)]
@@ -71,17 +57,14 @@ mod tests {
     use super::*;
 
     #[test]
-    fn display_and_level_accessors() {
-        assert_eq!(IsolationLevel::Causal.to_string(), "causal");
-        assert_eq!(IsolationLevel::ReadCommitted.to_string(), "read committed");
+    fn level_accessors() {
         assert_eq!(StoreMode::SerializableRecord.isolation_level(), None);
-        assert_eq!(
-            StoreMode::WeakRandom {
-                level: IsolationLevel::Causal,
-                seed: 1
-            }
-            .isolation_level(),
-            Some(IsolationLevel::Causal)
-        );
+        assert_eq!(StoreMode::RealisticRc.isolation_level(), None);
+        for level in IsolationLevel::ALL {
+            assert_eq!(
+                StoreMode::WeakRandom { level, seed: 1 }.isolation_level(),
+                Some(level)
+            );
+        }
     }
 }

@@ -15,6 +15,10 @@
 //!   order-status and stock-level transactions;
 //! * [`wikipedia`] — mostly-read page/revision traffic with occasional edits.
 //!
+//! Beyond the paper's four programs, [`overdraft`] adds the canonical
+//! write-skew scenario (sum-guarded withdrawals over per-customer account
+//! pairs) that separates snapshot isolation from serializability.
+//!
 //! Every workload is deterministic given a [`WorkloadConfig`] (sessions,
 //! transactions per session, RNG seed, scale) and exposes MonkeyDB-style
 //! assertions over the final state so that the Table 6/7 comparison can be
@@ -41,6 +45,7 @@
 #![deny(unsafe_code)]
 
 pub mod assertions;
+pub mod overdraft;
 pub mod smallbank;
 pub mod stats;
 pub mod tpcc;

@@ -1,0 +1,222 @@
+//! The Overdraft benchmark: the canonical snapshot-isolation anomaly.
+//!
+//! Each customer owns a checking and a savings account; a withdrawal from
+//! either account is allowed whenever the customer's *combined* balance
+//! covers it. The two withdrawal flavors write disjoint keys while reading
+//! both — exactly the write-skew shape that serializability forbids but
+//! snapshot isolation admits (no write–write conflict, so first-committer
+//! wins never fires). Under a serializable execution the combined balance
+//! can never go negative; under a weak level, two guarded withdrawals that
+//! both observe the old balances overdraw the customer, which the assertion
+//! detects. This goes beyond the paper's four OLTP-Bench programs: it is the
+//! scenario that separates snapshot isolation from serializability, the way
+//! Smallbank's racing read-modify-writes separate causal from snapshot
+//! isolation.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use isopredict_store::{Client, Engine};
+
+use crate::assertions::AssertionViolation;
+use crate::config::WorkloadConfig;
+use crate::spec::{PlannedTxn, TxnResult};
+
+/// Initial balance of every checking and savings account.
+pub const INITIAL_BALANCE: i64 = 100;
+
+/// A planned Overdraft transaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OverdraftTxn {
+    /// Withdraw from the checking account if the combined balance covers it.
+    WithdrawChecking {
+        /// Customer id.
+        customer: usize,
+        /// Amount to withdraw (positive).
+        amount: i64,
+    },
+    /// Withdraw from the savings account if the combined balance covers it.
+    WithdrawSavings {
+        /// Customer id.
+        customer: usize,
+        /// Amount to withdraw (positive).
+        amount: i64,
+    },
+    /// Read both balances (an audit).
+    Audit {
+        /// Customer id.
+        customer: usize,
+    },
+}
+
+fn checking(customer: usize) -> String {
+    format!("overdraft:checking:{customer}")
+}
+
+fn savings(customer: usize) -> String {
+    format!("overdraft:savings:{customer}")
+}
+
+fn num_customers(config: &WorkloadConfig) -> usize {
+    (config.scale / 2).max(1)
+}
+
+/// Loads the initial account balances.
+pub fn setup(engine: &Engine, config: &WorkloadConfig) {
+    for customer in 0..num_customers(config) {
+        engine.set_initial(&checking(customer), INITIAL_BALANCE.into());
+        engine.set_initial(&savings(customer), INITIAL_BALANCE.into());
+    }
+}
+
+/// Plans each session's transactions deterministically from the seed.
+#[must_use]
+pub fn plan(config: &WorkloadConfig) -> Vec<Vec<OverdraftTxn>> {
+    (0..config.sessions)
+        .map(|session| {
+            let mut rng =
+                ChaCha8Rng::seed_from_u64(config.seed ^ (0x0d7a_0000 + session as u64) << 8);
+            (0..config.txns_per_session)
+                .map(|_| random_txn(&mut rng, num_customers(config)))
+                .collect()
+        })
+        .collect()
+}
+
+fn random_txn(rng: &mut ChaCha8Rng, customers: usize) -> OverdraftTxn {
+    let customer = rng.gen_range(0..customers);
+    // Amounts above one account's balance but below the combined balance:
+    // a single guarded withdrawal is fine, two racing ones overdraw.
+    let amount = rng.gen_range(110..=180);
+    match rng.gen_range(0..5) {
+        0 | 1 => OverdraftTxn::WithdrawChecking { customer, amount },
+        2 | 3 => OverdraftTxn::WithdrawSavings { customer, amount },
+        _ => OverdraftTxn::Audit { customer },
+    }
+}
+
+/// The keys `txn` may write, fed to the store's write-conflict accounting
+/// under snapshot isolation. The two withdrawal flavors declare *disjoint*
+/// keys, which is what keeps write skew SI-legal here.
+#[must_use]
+pub fn write_set(txn: &OverdraftTxn) -> Vec<String> {
+    match txn {
+        OverdraftTxn::WithdrawChecking { customer, .. } => vec![checking(*customer)],
+        OverdraftTxn::WithdrawSavings { customer, .. } => vec![savings(*customer)],
+        OverdraftTxn::Audit { .. } => Vec::new(),
+    }
+}
+
+/// Executes one planned transaction against the store.
+pub fn execute(txn: &OverdraftTxn, client: &Client<'_>) -> TxnResult {
+    let mut t = client.begin();
+    t.declare_writes(write_set(txn));
+    match txn {
+        OverdraftTxn::WithdrawChecking { customer, amount } => {
+            let checking_balance = t.get_int(&checking(*customer), 0);
+            let savings_balance = t.get_int(&savings(*customer), 0);
+            if checking_balance + savings_balance >= *amount {
+                t.put(&checking(*customer), checking_balance - amount);
+            }
+            t.commit();
+            TxnResult::Committed
+        }
+        OverdraftTxn::WithdrawSavings { customer, amount } => {
+            let checking_balance = t.get_int(&checking(*customer), 0);
+            let savings_balance = t.get_int(&savings(*customer), 0);
+            if checking_balance + savings_balance >= *amount {
+                t.put(&savings(*customer), savings_balance - amount);
+            }
+            t.commit();
+            TxnResult::Committed
+        }
+        OverdraftTxn::Audit { customer } => {
+            let _ = t.get_int(&checking(*customer), 0);
+            let _ = t.get_int(&savings(*customer), 0);
+            t.commit();
+            TxnResult::Committed
+        }
+    }
+}
+
+/// The write-skew assertion: every withdrawal was guarded by the combined
+/// balance, so under any *serializable* execution no customer's combined
+/// balance ever goes negative. A negative combined balance is the
+/// materialized write-skew anomaly.
+#[must_use]
+pub fn assertions(
+    engine: &Engine,
+    config: &WorkloadConfig,
+    _committed: &[PlannedTxn],
+) -> Vec<AssertionViolation> {
+    let mut violations = Vec::new();
+    for customer in 0..num_customers(config) {
+        let combined =
+            engine.peek_int(&checking(customer), 0) + engine.peek_int(&savings(customer), 0);
+        if combined < 0 {
+            violations.push(AssertionViolation::new(
+                "overdraft.combined-balance",
+                format!("customer {customer}: combined balance {combined} is negative"),
+            ));
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{run, Schedule};
+    use crate::spec::Benchmark;
+    use isopredict_store::StoreMode;
+
+    #[test]
+    fn serializable_runs_never_overdraw() {
+        for seed in 0..5 {
+            let config = WorkloadConfig::small(seed);
+            let output = run(
+                Benchmark::Overdraft,
+                &config,
+                StoreMode::SerializableRecord,
+                &Schedule::RoundRobin,
+            );
+            assert!(output.violations.is_empty(), "seed {seed}");
+            assert!(
+                isopredict_history::serializability::check(&output.history).is_serializable(),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_isolation_runs_stay_si_but_can_overdraw() {
+        // Write skew is SI-legal: some weak-random SI seed must materialize a
+        // negative combined balance while every run stays SI-conformant.
+        let mut overdrawn = false;
+        for seed in 0..20 {
+            let config = WorkloadConfig::small(0);
+            let output = run(
+                Benchmark::Overdraft,
+                &config,
+                StoreMode::WeakRandom {
+                    level: isopredict_store::IsolationLevel::Snapshot,
+                    seed,
+                },
+                &Schedule::RoundRobin,
+            );
+            assert!(
+                isopredict_history::si::is_si(&output.history),
+                "seed {seed}"
+            );
+            if !output.violations.is_empty() {
+                overdrawn = true;
+                break;
+            }
+        }
+        assert!(
+            overdrawn,
+            "no weak SI seed produced the write-skew overdraft"
+        );
+    }
+}

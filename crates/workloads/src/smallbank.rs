@@ -128,9 +128,29 @@ fn random_txn(rng: &mut ChaCha8Rng, scale: usize) -> SmallbankTxn {
     }
 }
 
+/// The keys `txn` may write, declared to the store up front so that
+/// write-conflict-sensitive isolation levels (snapshot isolation's
+/// first-committer-wins) can account for them when choosing legal writers.
+/// Conditional writes are over-declared, which is sound — the chooser just
+/// becomes more conservative.
+#[must_use]
+pub fn write_set(txn: &SmallbankTxn) -> Vec<String> {
+    match txn {
+        SmallbankTxn::Balance { .. } => Vec::new(),
+        SmallbankTxn::DepositChecking { customer, .. } => vec![checking(*customer)],
+        SmallbankTxn::TransactSavings { customer, .. } => vec![savings(*customer)],
+        SmallbankTxn::Amalgamate { from, to } => {
+            vec![savings(*from), checking(*from), checking(*to)]
+        }
+        SmallbankTxn::WriteCheck { customer, .. } => vec![checking(*customer)],
+        SmallbankTxn::SendPayment { from, to, .. } => vec![checking(*from), checking(*to)],
+    }
+}
+
 /// Executes one planned transaction against the store.
 pub fn execute(txn: &SmallbankTxn, client: &Client<'_>) -> TxnResult {
     let mut t = client.begin();
+    t.declare_writes(write_set(txn));
     match txn {
         SmallbankTxn::Balance { customer } => {
             let _ = t.get_int(&checking(*customer), 0);

@@ -169,9 +169,35 @@ fn random_txn(rng: &mut ChaCha8Rng, config: &WorkloadConfig) -> TpccTxn {
     }
 }
 
+/// The keys `txn` may write, fed to the store's write-conflict accounting
+/// under snapshot isolation. The freshly inserted order row's key embeds the
+/// order id read inside the transaction and so cannot be named up front; it
+/// is unique per (district, id) once the declared next-order counter is
+/// conflict-checked, so omitting it is harmless.
+#[must_use]
+pub fn write_set(txn: &TpccTxn) -> Vec<String> {
+    match txn {
+        TpccTxn::NewOrder { district, items } => {
+            let mut keys = vec![next_order_key(*district)];
+            keys.extend(items.iter().map(|(item, _)| stock_key(*item)));
+            keys
+        }
+        TpccTxn::Payment {
+            district, customer, ..
+        } => vec![
+            warehouse_ytd_key(),
+            district_ytd_key(*district),
+            customer_balance_key(*district, *customer),
+        ],
+        TpccTxn::OrderStatus { .. } | TpccTxn::StockLevel { .. } => Vec::new(),
+        TpccTxn::Delivery { district } => vec![delivered_key(*district)],
+    }
+}
+
 /// Executes one planned transaction.
 pub fn execute(txn: &TpccTxn, client: &Client<'_>) -> TxnResult {
     let mut t = client.begin();
+    t.declare_writes(write_set(txn));
     match txn {
         TpccTxn::NewOrder { district, items } => {
             // Validate the items exist; TPC-C aborts ~1% of new orders on an

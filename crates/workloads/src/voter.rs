@@ -89,9 +89,24 @@ pub fn plan(config: &WorkloadConfig) -> Vec<Vec<VoterTxn>> {
         .collect()
 }
 
+/// The keys `txn` may write (over-declared for the vote-limit branch), fed
+/// to the store's write-conflict accounting under snapshot isolation.
+#[must_use]
+pub fn write_set(txn: &VoterTxn) -> Vec<String> {
+    match txn {
+        VoterTxn::Vote { phone, contestant } => vec![
+            phone_key(*phone),
+            votes_key(*contestant),
+            TOTAL_KEY.to_string(),
+        ],
+        VoterTxn::Leaderboard => Vec::new(),
+    }
+}
+
 /// Executes one planned transaction.
 pub fn execute(txn: &VoterTxn, client: &Client<'_>) -> TxnResult {
     let mut t = client.begin();
+    t.declare_writes(write_set(txn));
     match txn {
         VoterTxn::Vote { phone, contestant } => {
             // Validate the contestant exists (a read, as in the SQL benchmark).

@@ -124,9 +124,29 @@ pub fn plan(config: &WorkloadConfig) -> Vec<Vec<WikipediaTxn>> {
         .collect()
 }
 
+/// The keys `txn` may write, fed to the store's write-conflict accounting
+/// under snapshot isolation. The new revision row's key embeds the revision
+/// id read inside the transaction; the declared latest-revision counter
+/// covers the conflict, so omitting the row itself is harmless.
+#[must_use]
+pub fn write_set(txn: &WikipediaTxn) -> Vec<String> {
+    match txn {
+        WikipediaTxn::GetPageAnonymous { .. } | WikipediaTxn::GetPageAuthenticated { .. } => {
+            Vec::new()
+        }
+        WikipediaTxn::UpdatePage { page, user } => vec![
+            page_text_key(*page),
+            latest_rev_key(*page),
+            user_edits_key(*user),
+        ],
+        WikipediaTxn::AddToWatchList { user, .. } => vec![watchlist_key(*user)],
+    }
+}
+
 /// Executes one planned transaction.
 pub fn execute(txn: &WikipediaTxn, client: &Client<'_>) -> TxnResult {
     let mut t = client.begin();
+    t.declare_writes(write_set(txn));
     match txn {
         WikipediaTxn::GetPageAnonymous { page } => {
             let rev = t.get_int(&latest_rev_key(*page), 1);
