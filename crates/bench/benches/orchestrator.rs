@@ -35,6 +35,7 @@ fn bench_campaign_workers(c: &mut Criterion) {
                         workers,
                         conflict_budget: Some(2_000_000),
                         shard_policy: ShardPolicy::default(),
+                        corpus: None,
                     }))
                 });
             },

@@ -6,11 +6,15 @@
 //! count.
 //!
 //! Usage:
-//! `cargo run --release -p isopredict-bench --bin table4_5 -- [--isolation causal|rc|si] [--size small|large] [--seeds N] [--budget N] [--workers N]`
+//! `cargo run --release -p isopredict-bench --bin table4_5 -- [--isolation causal|rc|si] [--size small|large] [--seeds N] [--budget N] [--workers N] [--corpus DIR]`
+//!
+//! With `--corpus DIR`, observed executions already in the trace corpus are
+//! loaded instead of re-recorded, and fresh recordings are persisted there.
 
 use isopredict::{IsolationLevel, Strategy};
-use isopredict_bench::harness::run_experiment;
+use isopredict_bench::harness::run_experiment_in;
 use isopredict_bench::tables::PredictionRow;
+use isopredict_corpus::Corpus;
 use isopredict_orchestrator::WorkerPool;
 use isopredict_workloads::{Benchmark, WorkloadConfig, WorkloadSize};
 
@@ -33,6 +37,9 @@ fn main() {
         Some(workers) => WorkerPool::new(workers),
         None => WorkerPool::auto(),
     };
+    let corpus: Option<Corpus> = arg(&args, "--corpus").map(|dir| {
+        Corpus::open(&dir).unwrap_or_else(|error| panic!("cannot open corpus at {dir}: {error}"))
+    });
 
     // Levels beyond the paper's two tables label themselves, so a future
     // seam row gets a correct title without touching this binary.
@@ -61,8 +68,34 @@ fn main() {
         .collect();
     let results = pool.run(&cells, |_, &(benchmark, strategy, seed)| {
         let config = WorkloadConfig::sized(size, seed);
-        run_experiment(benchmark, &config, strategy, isolation, Some(budget))
+        run_experiment_in(
+            benchmark,
+            &config,
+            strategy,
+            isolation,
+            Some(budget),
+            corpus.as_ref(),
+        )
     });
+    if corpus.is_some() {
+        // Count unique observed executions, not experiments: each (benchmark,
+        // seed) trace serves every strategy.
+        let loaded: std::collections::HashSet<(Benchmark, u64)> = cells
+            .iter()
+            .zip(&results)
+            .filter(|(_, result)| result.trace_source == "corpus")
+            .map(|(&(benchmark, _, seed), _)| (benchmark, seed))
+            .collect();
+        let observed: std::collections::HashSet<(Benchmark, u64)> = cells
+            .iter()
+            .map(|&(benchmark, _, seed)| (benchmark, seed))
+            .collect();
+        eprintln!(
+            "corpus: {}/{} observed executions loaded (record phase skipped)",
+            loaded.len(),
+            observed.len()
+        );
+    }
 
     let seeds = seeds as usize;
     for (block, benchmark) in Benchmark::all().into_iter().enumerate() {

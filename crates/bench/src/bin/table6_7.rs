@@ -7,11 +7,15 @@
 //! regardless of worker count.
 //!
 //! Usage:
-//! `cargo run --release -p isopredict-bench --bin table6_7 -- [--isolation causal|rc|si] [--size small|large] [--seeds N] [--runs-per-seed N] [--budget N] [--workers N]`
+//! `cargo run --release -p isopredict-bench --bin table6_7 -- [--isolation causal|rc|si] [--size small|large] [--seeds N] [--runs-per-seed N] [--budget N] [--workers N] [--corpus DIR]`
+//!
+//! `--corpus DIR` applies to the IsoPredict pipeline's observed executions
+//! (the MonkeyDB-style random exploration is inherently re-executed).
 
 use isopredict::{IsolationLevel, Strategy};
-use isopredict_bench::harness::{run_experiment, ExperimentOutcome};
+use isopredict_bench::harness::{run_experiment_in, ExperimentOutcome};
 use isopredict_bench::tables::ComparisonRow;
+use isopredict_corpus::Corpus;
 use isopredict_history::serializability;
 use isopredict_orchestrator::WorkerPool;
 use isopredict_workloads::{run, Benchmark, Schedule, WorkloadConfig, WorkloadSize};
@@ -48,6 +52,9 @@ fn main() {
         Some(workers) => WorkerPool::new(workers),
         None => WorkerPool::auto(),
     };
+    let corpus: Option<Corpus> = arg(&args, "--corpus").map(|dir| {
+        Corpus::open(&dir).unwrap_or_else(|error| panic!("cannot open corpus at {dir}: {error}"))
+    });
 
     // The paper uses the best-performing strategy per isolation level:
     // Approx-Relaxed under causal (Table 6), Approx-Strict under rc
@@ -114,7 +121,14 @@ fn main() {
                 }
             }
         }
-        let result = run_experiment(benchmark, &config, strategy, isolation, Some(budget));
+        let result = run_experiment_in(
+            benchmark,
+            &config,
+            strategy,
+            isolation,
+            Some(budget),
+            corpus.as_ref(),
+        );
         if result.outcome == ExperimentOutcome::Validated {
             tally.validated += 1;
         }

@@ -19,4 +19,6 @@
 pub mod tables;
 
 pub use isopredict_orchestrator::harness;
-pub use isopredict_orchestrator::harness::{run_experiment, ExperimentOutcome, ExperimentResult};
+pub use isopredict_orchestrator::harness::{
+    run_experiment, run_experiment_in, ExperimentOutcome, ExperimentResult,
+};

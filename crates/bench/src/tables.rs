@@ -238,6 +238,7 @@ mod tests {
             constraint_gen_time: Duration::from_millis(10),
             solving_time: Duration::from_millis(20),
             observed: WorkloadCharacteristics::default(),
+            trace_source: "recorded",
         }
     }
 

@@ -1,0 +1,259 @@
+//! Command-line front end for the trace corpus.
+//!
+//! Usage:
+//! `cargo run --release -p isopredict-corpus --bin trace -- <command> --corpus DIR [...]`
+//!
+//! Commands:
+//! * `record  --corpus DIR [--benchmarks smallbank,voter,...] [--seeds N] [--size small|large]`
+//!   — record observed executions and persist them (cached cells are skipped).
+//! * `ls      --corpus DIR` — list indexed traces.
+//! * `show    --corpus DIR HASH` — print a trace (hash may be abbreviated).
+//! * `import  --corpus DIR FILE [--benchmark NAME] [--seed N] [--isolation LABEL]`
+//!   — ingest external trace JSON; malformed traces are rejected with the
+//!   specific defect.
+//! * `verify  --corpus DIR` — integrity-check every indexed object.
+//! * `gc      --corpus DIR` — remove unreferenced objects.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use isopredict_corpus::hash::sha256;
+use isopredict_corpus::{Corpus, CorpusError};
+use isopredict_history::TraceMeta;
+use isopredict_store::StoreMode;
+use isopredict_workloads::{run, Benchmark, Schedule, WorkloadConfig, WorkloadSize};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let Some(command) = args.get(1).map(String::as_str) else {
+        eprintln!("usage: trace <record|ls|show|import|verify|gc> --corpus DIR [...]");
+        return ExitCode::FAILURE;
+    };
+    let Some(dir) = arg(&args, "--corpus") else {
+        eprintln!("trace {command}: --corpus DIR is required");
+        return ExitCode::FAILURE;
+    };
+    let corpus = match Corpus::open(&dir) {
+        Ok(corpus) => corpus,
+        Err(error) => {
+            eprintln!("trace: cannot open corpus at {dir}: {error}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command {
+        "record" => record(&corpus, &args),
+        "ls" => ls(&corpus),
+        "show" => show(&corpus, &args),
+        "import" => import(&corpus, &args),
+        "verify" => verify(&corpus),
+        "gc" => gc(&corpus),
+        other => {
+            eprintln!("trace: unknown command `{other}`");
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(code) => code,
+        Err(error) => {
+            eprintln!("trace {command}: {error}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn record(corpus: &Corpus, args: &[String]) -> Result<ExitCode, CorpusError> {
+    let benchmarks: Vec<Benchmark> = match arg(args, "--benchmarks") {
+        Some(list) => list.split(',').map(parse_benchmark).collect(),
+        None => Benchmark::extended().to_vec(),
+    };
+    let seeds: u64 = arg(args, "--seeds")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    let size = match arg(args, "--size").as_deref() {
+        Some("large") => WorkloadSize::Large,
+        _ => WorkloadSize::Small,
+    };
+
+    println!(
+        "{:<11} {:>5} {:<8} {:>6} {:>9}  Hash",
+        "Program", "Seed", "Source", "Txns", "Record"
+    );
+    for &benchmark in &benchmarks {
+        for seed in 0..seeds {
+            let config = WorkloadConfig::sized(size, seed);
+            if let Some((entry, _)) = corpus.load_observed(benchmark.name(), &config)? {
+                println!(
+                    "{:<11} {:>5} {:<8} {:>6} {:>8.1}ms  {}",
+                    benchmark.name(),
+                    seed,
+                    "corpus",
+                    entry.txns,
+                    entry.record_us as f64 / 1e3,
+                    &entry.hash[..12],
+                );
+                continue;
+            }
+            let start = Instant::now();
+            let output = run(
+                benchmark,
+                &config,
+                StoreMode::SerializableRecord,
+                &Schedule::RoundRobin,
+            );
+            let record_us = start.elapsed().as_micros() as u64;
+            let receipt = corpus.store(&output.trace(), record_us)?;
+            println!(
+                "{:<11} {:>5} {:<8} {:>6} {:>8.1}ms  {}",
+                benchmark.name(),
+                seed,
+                "recorded",
+                output.history.committed_transactions().count(),
+                record_us as f64 / 1e3,
+                &receipt.hash[..12],
+            );
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn ls(corpus: &Corpus) -> Result<ExitCode, CorpusError> {
+    println!(
+        "{:<14} {:<11} {:>5} {:>8} {:>6} {:>6} {:>6}  Recorded under",
+        "Hash", "Program", "Seed", "Shape", "Txns", "Reads", "Writes"
+    );
+    for entry in corpus.entries() {
+        println!(
+            "{:<14} {:<11} {:>5} {:>8} {:>6} {:>6} {:>6}  {} (v{})",
+            &entry.hash[..12],
+            entry.key.benchmark,
+            entry.key.seed,
+            format!("{}s×{}t", entry.key.sessions, entry.key.txns_per_session),
+            entry.txns,
+            entry.reads,
+            entry.writes,
+            entry.key.isolation,
+            entry.key.store_version,
+        );
+    }
+    println!("{} trace(s)", corpus.len());
+    Ok(ExitCode::SUCCESS)
+}
+
+fn show(corpus: &Corpus, args: &[String]) -> Result<ExitCode, CorpusError> {
+    let Some(prefix) = positional(args) else {
+        eprintln!("trace show: a hash (or unique prefix) is required");
+        return Ok(ExitCode::FAILURE);
+    };
+    let hash = corpus.resolve(&prefix)?;
+    let trace = corpus.load(&hash)?;
+    println!("{}", trace.to_json());
+    Ok(ExitCode::SUCCESS)
+}
+
+fn import(corpus: &Corpus, args: &[String]) -> Result<ExitCode, CorpusError> {
+    let Some(file) = positional(args) else {
+        eprintln!("trace import: a trace JSON file is required");
+        return Ok(ExitCode::FAILURE);
+    };
+    let json = std::fs::read_to_string(&file).map_err(|error| CorpusError::Io {
+        path: file.clone(),
+        error: error.to_string(),
+    })?;
+    // Identity defaults that cannot collide across distinct imports: the
+    // benchmark falls back to the file stem and the seed to the trace's own
+    // content hash, so only byte-identical traces share a key (and those
+    // dedupe as `cached`, which is correct).
+    let benchmark = arg(args, "--benchmark").unwrap_or_else(|| {
+        std::path::Path::new(&file)
+            .file_stem()
+            .map(|stem| stem.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "external".to_string())
+    });
+    let seed: Option<u64> = arg(args, "--seed").and_then(|v| v.parse().ok());
+    let isolation = arg(args, "--isolation").unwrap_or_else(|| "external".to_string());
+    let result = corpus.import(&json, |trace| TraceMeta {
+        benchmark,
+        seed: seed.unwrap_or_else(|| {
+            let digest = sha256(trace.to_canonical_json().as_bytes());
+            u64::from_be_bytes(digest[..8].try_into().expect("8 bytes"))
+        }),
+        sessions: trace.sessions.len(),
+        txns_per_session: trace
+            .sessions
+            .iter()
+            .map(|session| session.transactions.len())
+            .max()
+            .unwrap_or(0),
+        scale: 0,
+        isolation,
+        store_version: "external".to_string(),
+        committed_plan_indices: None,
+    });
+    let receipt = match result {
+        Ok(receipt) => receipt,
+        Err(error @ CorpusError::KeyConflict { .. }) => {
+            eprintln!(
+                "trace import: {error}\n\
+                 hint: another import already owns this identity; pass a \
+                 distinct --benchmark and/or --seed for this trace"
+            );
+            return Ok(ExitCode::FAILURE);
+        }
+        Err(error) => return Err(error),
+    };
+    println!(
+        "{} {}",
+        receipt.hash,
+        if receipt.fresh { "imported" } else { "cached" }
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+fn verify(corpus: &Corpus) -> Result<ExitCode, CorpusError> {
+    let report = corpus.verify()?;
+    for problem in &report.problems {
+        eprintln!("{problem}");
+    }
+    println!(
+        "{} entr{} checked, {} problem(s)",
+        report.checked,
+        if report.checked == 1 { "y" } else { "ies" },
+        report.problems.len()
+    );
+    Ok(if report.problems.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+fn gc(corpus: &Corpus) -> Result<ExitCode, CorpusError> {
+    let report = corpus.gc()?;
+    println!("{} object(s) removed, {} kept", report.removed, report.kept);
+    Ok(ExitCode::SUCCESS)
+}
+
+fn parse_benchmark(name: &str) -> Benchmark {
+    name.parse().unwrap_or_else(|error| panic!("{error}"))
+}
+
+fn arg(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// The first non-flag argument after the command (skipping flag values).
+fn positional(args: &[String]) -> Option<String> {
+    let mut index = 2;
+    while index < args.len() {
+        let token = &args[index];
+        if token.starts_with("--") {
+            index += 2;
+        } else {
+            return Some(token.clone());
+        }
+    }
+    None
+}

@@ -1,0 +1,168 @@
+//! Hand-rolled SHA-256 (FIPS 180-4) for content addressing.
+//!
+//! The corpus is offline-first: no crates.io hashing dependency is available,
+//! so the digest is implemented here. Content addresses are the lowercase hex
+//! digest of a trace's canonical JSON bytes. Correctness is pinned against
+//! the FIPS test vectors below; collisions are *still* checked for at store
+//! time (byte comparison against the existing object) rather than assumed
+//! impossible.
+
+/// Round constants: the first 32 bits of the fractional parts of the cube
+/// roots of the first 64 primes.
+const K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+/// Initial hash state: the first 32 bits of the fractional parts of the
+/// square roots of the first 8 primes.
+const H0: [u32; 8] = [
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
+];
+
+/// One compression round over a 64-byte block. `w` is caller-provided
+/// scratch so hot loops allocate nothing.
+fn compress(state: &mut [u32; 8], block: &[u8], w: &mut [u32; 64]) {
+    debug_assert_eq!(block.len(), 64);
+    for (i, word) in w.iter_mut().take(16).enumerate() {
+        *word = u32::from_be_bytes([
+            block[4 * i],
+            block[4 * i + 1],
+            block[4 * i + 2],
+            block[4 * i + 3],
+        ]);
+    }
+    for i in 16..64 {
+        let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+        let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+        w[i] = w[i - 16]
+            .wrapping_add(s0)
+            .wrapping_add(w[i - 7])
+            .wrapping_add(s1);
+    }
+
+    let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = *state;
+    for i in 0..64 {
+        let big_s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+        let ch = (e & f) ^ (!e & g);
+        let temp1 = h
+            .wrapping_add(big_s1)
+            .wrapping_add(ch)
+            .wrapping_add(K[i])
+            .wrapping_add(w[i]);
+        let big_s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+        let maj = (a & b) ^ (a & c) ^ (b & c);
+        let temp2 = big_s0.wrapping_add(maj);
+        h = g;
+        g = f;
+        f = e;
+        e = d.wrapping_add(temp1);
+        d = c;
+        c = b;
+        b = a;
+        a = temp1.wrapping_add(temp2);
+    }
+
+    for (word, add) in state.iter_mut().zip([a, b, c, d, e, f, g, h]) {
+        *word = word.wrapping_add(add);
+    }
+}
+
+/// Computes the SHA-256 digest of `bytes`.
+///
+/// Streams 64-byte blocks straight off the borrowed slice — the input is
+/// never copied (this runs on every corpus store *and* every
+/// integrity-checked load); only the final block(s) are materialized to
+/// append the `0x80 ‖ zeros ‖ 64-bit big-endian bit length` padding.
+#[must_use]
+pub fn sha256(bytes: &[u8]) -> [u8; 32] {
+    let mut state = H0;
+    let mut w = [0u32; 64];
+    let mut chunks = bytes.chunks_exact(64);
+    for chunk in &mut chunks {
+        compress(&mut state, chunk, &mut w);
+    }
+
+    let remainder = chunks.remainder();
+    let bit_len = (bytes.len() as u64).wrapping_mul(8);
+    let mut block = [0u8; 64];
+    block[..remainder.len()].copy_from_slice(remainder);
+    block[remainder.len()] = 0x80;
+    if remainder.len() >= 56 {
+        // No room for the length in this block; it goes in an extra one.
+        compress(&mut state, &block, &mut w);
+        block = [0u8; 64];
+    }
+    block[56..].copy_from_slice(&bit_len.to_be_bytes());
+    compress(&mut state, &block, &mut w);
+
+    let mut digest = [0u8; 32];
+    for (i, word) in state.iter().enumerate() {
+        digest[4 * i..4 * i + 4].copy_from_slice(&word.to_be_bytes());
+    }
+    digest
+}
+
+/// The SHA-256 digest of `bytes` as lowercase hex — the corpus's content
+/// address format.
+#[must_use]
+pub fn sha256_hex(bytes: &[u8]) -> String {
+    let digest = sha256(bytes);
+    let mut out = String::with_capacity(64);
+    for byte in digest {
+        use std::fmt::Write;
+        write!(out, "{byte:02x}").expect("writing to a String cannot fail");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fips_test_vectors() {
+        assert_eq!(
+            sha256_hex(b""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+        assert_eq!(
+            sha256_hex(b"abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+        assert_eq!(
+            sha256_hex(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+        assert_eq!(
+            sha256_hex(b"The quick brown fox jumps over the lazy dog"),
+            "d7a8fbb307d7809469ca9abcb0082e4f8d5651e46d3cdb762d02d0bf37c9e592"
+        );
+    }
+
+    #[test]
+    fn padding_boundaries_are_handled() {
+        // Lengths straddling the 56-byte padding boundary within one block
+        // and spilling into a second block.
+        for len in [55usize, 56, 57, 63, 64, 65, 119, 120, 128] {
+            let data = vec![0x61u8; len];
+            let digest = sha256_hex(&data);
+            assert_eq!(digest.len(), 64, "len {len}");
+            // Digest differs from neighbours (sanity, not a collision proof).
+            let other = vec![0x61u8; len + 1];
+            assert_ne!(digest, sha256_hex(&other), "len {len}");
+        }
+        // A known multi-block vector: one million 'a's.
+        let million = vec![0x61u8; 1_000_000];
+        assert_eq!(
+            sha256_hex(&million),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        );
+    }
+}

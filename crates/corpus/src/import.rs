@@ -1,0 +1,216 @@
+//! Ingestion of external trace JSON: parsing, structural validation, and
+//! normalization into the canonical [`Trace`] form.
+//!
+//! The predictor is defined over abstract execution histories, not over this
+//! repository's recorder, so the corpus accepts traces produced by *other*
+//! systems as long as they speak the trace format (see the README's "Trace
+//! corpus" section for the spec). Ingestion is strict: a malformed history
+//! would make the analysis answer a question nobody asked, so every
+//! structural defect is rejected with an error naming the defect and the
+//! offending transaction or session.
+
+use isopredict_history::{OpTrace, Trace, TraceError};
+
+/// Why an external trace was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ImportError {
+    /// The text is not valid trace JSON (syntax error, missing fields, or an
+    /// unknown operation kind).
+    Json(String),
+    /// The trace parsed but is not a valid history (dangling reads, duplicate
+    /// or reserved transaction ids).
+    History(TraceError),
+    /// A session name appears more than once, so its transactions would be
+    /// split into non-contiguous blocks — session order must be contiguous.
+    DuplicateSession(String),
+    /// A transaction reads from itself.
+    SelfRead {
+        /// The offending transaction id.
+        txn: u32,
+    },
+    /// The trace contains no committed transactions, so there is nothing to
+    /// analyze.
+    Empty,
+}
+
+impl std::fmt::Display for ImportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ImportError::Json(error) => write!(
+                f,
+                "malformed trace JSON: {error} (ops must be \
+                 {{\"op\":\"read\",\"key\":...,\"from\":...}} or \
+                 {{\"op\":\"write\",\"key\":...}})"
+            ),
+            ImportError::History(TraceError::UnknownWriter { writer, reader }) => write!(
+                f,
+                "dangling read: transaction {reader} reads from transaction \
+                 {writer}, which is not in the trace"
+            ),
+            ImportError::History(error) => write!(f, "invalid history: {error}"),
+            ImportError::DuplicateSession(name) => write!(
+                f,
+                "session `{name}` appears more than once: each session's \
+                 transactions must form one contiguous block in session order"
+            ),
+            ImportError::SelfRead { txn } => {
+                write!(f, "transaction {txn} reads from itself")
+            }
+            ImportError::Empty => {
+                write!(f, "trace contains no committed transactions")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ImportError {}
+
+/// Parses and validates external trace JSON, returning the normalized trace.
+///
+/// Normalization is semantic, not textual: whatever whitespace, key order or
+/// numeric spelling the source used, the returned [`Trace`] re-serializes to
+/// the canonical byte form that content addresses are computed over.
+///
+/// # Errors
+///
+/// Returns an [`ImportError`] naming the first structural defect found:
+/// malformed JSON or unknown ops, duplicated session names, self-reads,
+/// dangling reads, duplicate or reserved transaction ids, or an empty trace.
+pub fn normalize(json: &str) -> Result<Trace, ImportError> {
+    let trace = Trace::from_json(json).map_err(ImportError::Json)?;
+
+    // Session order must be contiguous: one block per session name.
+    for (index, session) in trace.sessions.iter().enumerate() {
+        if trace.sessions[..index]
+            .iter()
+            .any(|earlier| earlier.name == session.name)
+        {
+            return Err(ImportError::DuplicateSession(session.name.clone()));
+        }
+    }
+
+    // No transaction may read from itself.
+    for session in &trace.sessions {
+        for txn in &session.transactions {
+            for op in &txn.ops {
+                if let OpTrace::Read { from, .. } = op {
+                    // `from == 0` always means the initial state t0, even on
+                    // a (reserved, rejected-later) transaction id of 0.
+                    if *from != 0 && *from == txn.id {
+                        return Err(ImportError::SelfRead { txn: txn.id });
+                    }
+                }
+            }
+        }
+    }
+
+    // Everything else — dangling reads, duplicate ids, the reserved id 0 —
+    // is checked by the history conversion.
+    let history = trace.to_history().map_err(ImportError::History)?;
+    if history.committed_transactions().count() == 0 {
+        return Err(ImportError::Empty);
+    }
+
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const VALID: &str = r#"{
+        "sessions": [
+            {"name": "a", "transactions": [
+                {"id": 1, "committed": true, "ops": [
+                    {"op": "read", "key": "x", "from": 0},
+                    {"op": "write", "key": "x"}
+                ]}
+            ]},
+            {"name": "b", "transactions": [
+                {"id": 2, "committed": true, "ops": [
+                    {"op": "read", "key": "x", "from": 1}
+                ]}
+            ]}
+        ]
+    }"#;
+
+    #[test]
+    fn valid_external_traces_normalize() {
+        let trace = normalize(VALID).expect("valid trace");
+        assert_eq!(trace.sessions.len(), 2);
+        // Normalization is canonicalizing: re-serialized bytes are compact.
+        assert!(!trace.to_canonical_json().contains('\n'));
+    }
+
+    #[test]
+    fn syntax_errors_are_rejected_with_context() {
+        let error = normalize("{not json").unwrap_err();
+        assert!(matches!(error, ImportError::Json(_)));
+        assert!(error.to_string().contains("malformed trace JSON"));
+    }
+
+    #[test]
+    fn unknown_ops_are_rejected() {
+        let json = VALID.replace("\"op\": \"write\"", "\"op\": \"increment\"");
+        let error = normalize(&json).unwrap_err();
+        assert!(matches!(error, ImportError::Json(_)), "{error}");
+        assert!(error.to_string().contains("unknown variant `increment`"));
+    }
+
+    #[test]
+    fn dangling_reads_are_rejected() {
+        let json = VALID.replace("\"from\": 1", "\"from\": 99");
+        let error = normalize(&json).unwrap_err();
+        assert_eq!(
+            error,
+            ImportError::History(TraceError::UnknownWriter {
+                writer: 99,
+                reader: 2
+            })
+        );
+        assert!(error.to_string().contains("dangling read"));
+    }
+
+    #[test]
+    fn non_contiguous_sessions_are_rejected() {
+        let json = VALID.replace("\"name\": \"b\"", "\"name\": \"a\"");
+        let error = normalize(&json).unwrap_err();
+        assert_eq!(error, ImportError::DuplicateSession("a".to_string()));
+        assert!(error.to_string().contains("contiguous"));
+    }
+
+    #[test]
+    fn self_reads_are_rejected() {
+        let json = VALID.replace("\"from\": 1", "\"from\": 2");
+        let error = normalize(&json).unwrap_err();
+        assert_eq!(error, ImportError::SelfRead { txn: 2 });
+    }
+
+    #[test]
+    fn empty_traces_are_rejected() {
+        let error = normalize(r#"{"sessions": []}"#).unwrap_err();
+        assert_eq!(error, ImportError::Empty);
+        let json = VALID.replace("\"committed\": true", "\"committed\": false");
+        assert_eq!(normalize(&json).unwrap_err(), ImportError::Empty);
+    }
+
+    #[test]
+    fn duplicate_and_reserved_ids_are_rejected() {
+        // Session b reuses id 1 on a write-only transaction (no self-read in
+        // the way), so the duplicate id is what gets reported.
+        let json = VALID.replace(
+            r#"{"op": "read", "key": "x", "from": 1}"#,
+            r#"{"op": "write", "key": "x"}"#,
+        );
+        let json = json.replace("\"id\": 2", "\"id\": 1");
+        assert!(matches!(
+            normalize(&json).unwrap_err(),
+            ImportError::History(TraceError::DuplicateTxnId(1))
+        ));
+        let json = VALID.replace("\"id\": 1,", "\"id\": 0,");
+        assert!(matches!(
+            normalize(&json).unwrap_err(),
+            ImportError::History(TraceError::ReservedId)
+        ));
+    }
+}

@@ -1,0 +1,49 @@
+//! Scratch directories for corpus tests (this crate's and downstream
+//! crates'): unique per process and counter, removed on drop.
+//!
+//! The workspace has no `tempfile` dependency (offline build), so this tiny
+//! equivalent lives here. It is public because the orchestrator's
+//! corpus-integration tests need scratch corpora too; it is not part of the
+//! corpus API proper.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static COUNTER: AtomicUsize = AtomicUsize::new(0);
+
+/// A directory under the system temp dir, removed (best-effort) on drop.
+#[derive(Debug)]
+pub struct ScratchDir {
+    path: PathBuf,
+}
+
+impl ScratchDir {
+    /// The directory's path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+/// Creates a fresh scratch directory whose name contains `label`, the process
+/// id, and a process-wide counter (so concurrent tests never share one).
+///
+/// # Panics
+///
+/// Panics when the directory cannot be created.
+#[must_use]
+pub fn scratch_dir(label: &str) -> ScratchDir {
+    let path = std::env::temp_dir().join(format!(
+        "isopredict-corpus-{label}-{}-{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&path).expect("create scratch dir");
+    ScratchDir { path }
+}

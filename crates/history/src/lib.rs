@@ -70,7 +70,7 @@ pub use history::{History, Transaction};
 pub use ids::{KeyId, SessionId, TxnId};
 pub use isolation::{IsolationLevel, IsolationSemantics, ParseIsolationLevelError};
 pub use serializability::SerializabilityResult;
-pub use trace::{OpTrace, SessionTrace, Trace, TraceError, TxnTrace};
+pub use trace::{OpTrace, SessionTrace, Trace, TraceError, TraceMeta, TxnTrace};
 
 /// A key of the data store, by name. Keys are interned to [`KeyId`]s inside a
 /// [`History`]; this alias documents intent at API boundaries that take names.

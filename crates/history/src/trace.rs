@@ -5,6 +5,17 @@
 //! that each read reads from". [`Trace`] is that format: a JSON-friendly
 //! mirror of a [`History`] that tools (the store recorder, the predictor, the
 //! validator) can write to and read from disk.
+//!
+//! # Canonical serialization
+//!
+//! [`Trace::to_canonical_json`] is the trace's *canonical form*: compact
+//! (no whitespace), with object keys in declaration order and sequences in
+//! trace order. Two equal traces always canonicalize to the same bytes, on
+//! every platform and on every run — the contract that lets a trace corpus
+//! address traces by a hash of their canonical form. The byte layout is
+//! pinned by a golden-file test (`tests/trace_canonical.rs`); changing it
+//! invalidates every content address ever handed out, so treat the golden
+//! file as an append-only compatibility promise.
 
 use std::collections::HashMap;
 
@@ -55,11 +66,45 @@ pub struct SessionTrace {
     pub transactions: Vec<TxnTrace>,
 }
 
+/// Provenance metadata stamped on a trace by the recorder.
+///
+/// The first five identity fields — benchmark, seed, workload shape and the
+/// recording mode — plus the recorder version form the corpus index key: a
+/// trace store looks traces up by exactly this tuple, so the metadata must be
+/// populated *at record time* rather than re-derived later. Traces ingested
+/// from external systems may omit the metadata entirely (`Trace::meta` is
+/// `None`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceMeta {
+    /// Benchmark (application) name, e.g. `"Smallbank"`.
+    pub benchmark: String,
+    /// Workload RNG seed.
+    pub seed: u64,
+    /// Number of client sessions in the workload configuration.
+    pub sessions: usize,
+    /// Transactions attempted per session.
+    pub txns_per_session: usize,
+    /// Workload data-size knob (accounts / contestants / items / pages).
+    pub scale: usize,
+    /// Label of the store mode the trace was recorded under, e.g.
+    /// `"serializable-record"` or `"weak-random(causal)"`.
+    pub isolation: String,
+    /// Version of the store crate that recorded the trace.
+    pub store_version: String,
+    /// For each session, the plan indices of the transactions that committed,
+    /// in session order — what a steered validation replay needs to map
+    /// history transactions back to workload plan entries. `None` for traces
+    /// that did not come from the workload runner (e.g. external imports).
+    pub committed_plan_indices: Option<Vec<Vec<usize>>>,
+}
+
 /// A recorded execution trace.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Trace {
     /// All sessions of the execution.
     pub sessions: Vec<SessionTrace>,
+    /// Recorder-stamped provenance, if any (see [`TraceMeta`]).
+    pub meta: Option<TraceMeta>,
 }
 
 /// Error converting a [`Trace`] into a [`History`].
@@ -197,13 +242,25 @@ impl Trace {
                     .collect(),
             })
             .collect();
-        Trace { sessions }
+        Trace {
+            sessions,
+            meta: None,
+        }
     }
 
     /// Serializes the trace to pretty-printed JSON.
     #[must_use]
     pub fn to_json(&self) -> String {
         serde_json::to_string_pretty(self).expect("trace serialization cannot fail")
+    }
+
+    /// Serializes the trace to its canonical form: compact JSON with keys in
+    /// declaration order and sequences in trace order, byte-deterministic
+    /// across runs and platforms (see the [module docs](self)). Content
+    /// addresses must be computed over exactly these bytes.
+    #[must_use]
+    pub fn to_canonical_json(&self) -> String {
+        serde_json::to_string(self).expect("trace serialization cannot fail")
     }
 
     /// Parses a trace from JSON text.
@@ -257,6 +314,7 @@ mod tests {
                     }],
                 },
             ],
+            meta: None,
         }
     }
 
@@ -278,6 +336,29 @@ mod tests {
         let parsed = Trace::from_json(&json).expect("valid json");
         assert_eq!(trace, parsed);
         assert!(Trace::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn canonical_json_is_compact_and_round_trips() {
+        let mut trace = sample_trace();
+        trace.meta = Some(TraceMeta {
+            benchmark: "Smallbank".to_string(),
+            seed: 7,
+            sessions: 2,
+            txns_per_session: 1,
+            scale: 4,
+            isolation: "serializable-record".to_string(),
+            store_version: "0.1.0".to_string(),
+            committed_plan_indices: Some(vec![vec![0], vec![0]]),
+        });
+        let canonical = trace.to_canonical_json();
+        assert!(!canonical.contains('\n'));
+        assert!(!canonical.contains(": "));
+        assert_eq!(Trace::from_json(&canonical).expect("valid json"), trace);
+        // Pretty and canonical forms describe the same document.
+        assert_eq!(Trace::from_json(&trace.to_json()).expect("pretty"), trace);
+        // Canonicalization is a pure function of the value.
+        assert_eq!(canonical, trace.clone().to_canonical_json());
     }
 
     #[test]
@@ -349,6 +430,7 @@ mod tests {
                     }],
                 },
             ],
+            meta: None,
         };
         let history = trace.to_history().expect("valid trace");
         // The reader is builder-id 1 (session a), the writer builder-id 2.

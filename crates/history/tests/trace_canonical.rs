@@ -1,0 +1,107 @@
+//! Golden-file pin of the canonical trace serialization.
+//!
+//! Content addresses in a trace corpus are hashes of
+//! [`Trace::to_canonical_json`]; if the canonical byte layout drifts — a
+//! field reorders, whitespace sneaks in, a rename happens — every address
+//! ever handed out silently dangles. This test compares the canonical form of
+//! a fixture trace byte-for-byte against `tests/golden/trace_canonical.json`.
+//! If it fails because you *intentionally* changed the format, regenerate the
+//! golden file and bump the recorder version so old corpus entries are keyed
+//! away from new ones.
+
+use isopredict_history::{OpTrace, SessionTrace, Trace, TraceMeta, TxnTrace};
+
+/// A fixture exercising every corner of the format: metadata with and without
+/// plan indices, reads from t0 and from peers, writes, aborted transactions,
+/// and strings needing JSON escapes.
+fn golden_trace() -> Trace {
+    Trace {
+        sessions: vec![
+            SessionTrace {
+                name: "client \"one\"".to_string(),
+                transactions: vec![
+                    TxnTrace {
+                        id: 1,
+                        committed: true,
+                        ops: vec![
+                            OpTrace::Read {
+                                key: "acct/checking".to_string(),
+                                from: 0,
+                            },
+                            OpTrace::Write {
+                                key: "acct/checking".to_string(),
+                            },
+                        ],
+                    },
+                    TxnTrace {
+                        id: 2,
+                        committed: false,
+                        ops: vec![OpTrace::Write {
+                            key: "acct/savings".to_string(),
+                        }],
+                    },
+                ],
+            },
+            SessionTrace {
+                name: "client-two".to_string(),
+                transactions: vec![TxnTrace {
+                    id: 3,
+                    committed: true,
+                    ops: vec![
+                        OpTrace::Read {
+                            key: "acct/checking".to_string(),
+                            from: 1,
+                        },
+                        OpTrace::Write {
+                            key: "acct/savings".to_string(),
+                        },
+                    ],
+                }],
+            },
+        ],
+        meta: Some(TraceMeta {
+            benchmark: "Smallbank".to_string(),
+            seed: 42,
+            sessions: 2,
+            txns_per_session: 2,
+            scale: 4,
+            isolation: "serializable-record".to_string(),
+            store_version: "0.1.0".to_string(),
+            committed_plan_indices: Some(vec![vec![0], vec![1]]),
+        }),
+    }
+}
+
+#[test]
+fn canonical_serialization_matches_the_golden_file() {
+    let golden = include_str!("golden/trace_canonical.json");
+    let canonical = golden_trace().to_canonical_json();
+    assert_eq!(
+        canonical,
+        golden.trim_end(),
+        "canonical trace bytes drifted from tests/golden/trace_canonical.json; \
+         this breaks every existing content address — see the test's module docs"
+    );
+}
+
+#[test]
+fn golden_file_round_trips_losslessly() {
+    let golden = include_str!("golden/trace_canonical.json");
+    let parsed = Trace::from_json(golden.trim_end()).expect("golden file parses");
+    assert_eq!(parsed, golden_trace());
+    assert_eq!(parsed.to_canonical_json(), golden.trim_end());
+    // And the trace is semantically valid: it converts to a history.
+    let history = parsed
+        .to_history()
+        .expect("golden trace is a valid history");
+    assert_eq!(history.len(), 3); // t0 + two committed transactions
+}
+
+#[test]
+fn traces_without_metadata_stay_canonical() {
+    let mut trace = golden_trace();
+    trace.meta = None;
+    let canonical = trace.to_canonical_json();
+    assert!(canonical.ends_with("\"meta\":null}"));
+    assert_eq!(Trace::from_json(&canonical).expect("parses"), trace);
+}

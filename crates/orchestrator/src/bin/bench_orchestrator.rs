@@ -96,6 +96,7 @@ fn main() {
             workers,
             conflict_budget: Some(budget),
             shard_policy: ShardPolicy::default(),
+            corpus: None,
         });
         let fingerprint = report.deterministic_json();
         match &reference {

@@ -6,7 +6,14 @@
 //!     [--paper] [--benchmarks smallbank,voter,tpcc,wikipedia,overdraft] [--seeds N] \
 //!     [--strategies exact-strict,approx-strict,approx-relaxed] \
 //!     [--isolation causal,rc,si] [--size small|large] [--budget N] \
-//!     [--workers N] [--shard auto|never|always] [--out PATH]`
+//!     [--workers N] [--shard auto|never|always] [--corpus DIR] \
+//!     [--out PATH] [--det-out PATH]`
+//!
+//! With `--corpus DIR`, observed cells already in the corpus are loaded
+//! instead of re-recorded (`trace_source: corpus` in the report) and fresh
+//! recordings are persisted for next time. `--det-out` writes only the
+//! deterministic report half (tasks + summary), which is byte-identical
+//! across runs, worker counts, and cold/warm corpora.
 
 use isopredict::{IsolationLevel, Strategy};
 use isopredict_orchestrator::{Campaign, CampaignOptions, ShardPolicy};
@@ -53,6 +60,9 @@ fn main() {
             _ => ShardPolicy::default(),
         };
     }
+    if let Some(dir) = arg(&args, "--corpus") {
+        options.corpus = Some(dir.into());
+    }
 
     eprintln!(
         "campaign: {} experiments on {} workers",
@@ -98,22 +108,27 @@ fn main() {
         report.timing.units_per_sec,
         report.timing.speedup_estimate,
     );
+    if options.corpus.is_some() {
+        println!(
+            "corpus: {} hit(s), {} miss(es); record phase skipped for hits, saving {:.2}s",
+            report.timing.corpus_hits,
+            report.timing.corpus_misses,
+            report.timing.record_saved_us as f64 / 1e6,
+        );
+    }
 
     if let Some(path) = arg(&args, "--out") {
         std::fs::write(&path, report.to_json()).expect("write report");
         eprintln!("report written to {path}");
     }
+    if let Some(path) = arg(&args, "--det-out") {
+        std::fs::write(&path, report.deterministic_json()).expect("write deterministic report");
+        eprintln!("deterministic report half written to {path}");
+    }
 }
 
 fn parse_benchmark(name: &str) -> Benchmark {
-    match name {
-        "smallbank" => Benchmark::Smallbank,
-        "voter" => Benchmark::Voter,
-        "tpcc" | "tpc-c" => Benchmark::Tpcc,
-        "wikipedia" => Benchmark::Wikipedia,
-        "overdraft" => Benchmark::Overdraft,
-        other => panic!("unknown benchmark `{other}`"),
-    }
+    name.parse().unwrap_or_else(|error| panic!("{error}"))
 }
 
 fn parse_strategy(name: &str) -> Strategy {

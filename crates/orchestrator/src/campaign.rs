@@ -3,9 +3,15 @@
 //!
 //! A [`Campaign`] names *what* to analyze; [`Campaign::run`] decides *how*:
 //!
-//! 1. **Record** — each unique (benchmark, seed) cell is recorded once
-//!    (serializable observed execution) and its [`ShardPlan`] computed, in
-//!    parallel;
+//! 1. **Record or load** — each unique (benchmark, seed) cell is recorded
+//!    once (serializable observed execution) and its [`ShardPlan`] computed,
+//!    in parallel. With a corpus configured
+//!    ([`CampaignOptions::corpus`]), cells already on disk are *loaded*
+//!    instead — the record phase is skipped for them and the report's
+//!    provenance says `trace_source: corpus` with the time saved. Either
+//!    way the analysis runs on the history rebuilt from the *canonical
+//!    trace*, so verdicts are byte-identical whether a trace was just
+//!    recorded or loaded from a corpus written weeks ago;
 //! 2. **Predict** — the matrix expands into one task per (observation,
 //!    strategy, isolation, shard unit); the worker pool drains the task queue,
 //!    each task running the component-restricted (or whole-history) predictor
@@ -20,15 +26,20 @@
 //! the deterministic half of the report is byte-identical no matter how many
 //! workers execute it (see `tests/campaign_determinism.rs`).
 
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 use isopredict::{validate, PredictionOutcome, Predictor, PredictorConfig, Strategy};
+use isopredict_corpus::{hash::sha256_hex, Corpus, LoadedTrace};
+use isopredict_history::History;
 use isopredict_store::{IsolationLevel, StoreMode};
-use isopredict_workloads::{run, Benchmark, RunOutput, Schedule, WorkloadConfig, WorkloadSize};
+use isopredict_workloads::{run, Benchmark, Schedule, WorkloadConfig, WorkloadSize};
 
 use crate::harness::{record_observed, ExperimentOutcome};
 use crate::merge::merge_outcomes;
-use crate::report::{outcome_name, CampaignReport, CampaignSummary, CampaignTiming, TaskRecord};
+use crate::report::{
+    outcome_name, CampaignReport, CampaignSummary, CampaignTiming, ProvenanceRecord, TaskRecord,
+};
 use crate::shard::{ShardPlan, ShardPolicy, ShardUnit};
 use crate::worker::WorkerPool;
 
@@ -45,6 +56,11 @@ pub struct CampaignOptions {
     pub conflict_budget: Option<u64>,
     /// When to shard observed histories.
     pub shard_policy: ShardPolicy,
+    /// Trace corpus directory for record-or-load: cells found in the corpus
+    /// skip the record phase; cells that are not are recorded once and
+    /// persisted for the next run. `None` records every cell in memory, as
+    /// before.
+    pub corpus: Option<PathBuf>,
 }
 
 impl Default for CampaignOptions {
@@ -53,6 +69,7 @@ impl Default for CampaignOptions {
             workers: WorkerPool::auto().workers(),
             conflict_budget: Some(2_000_000),
             shard_policy: ShardPolicy::default(),
+            corpus: None,
         }
     }
 }
@@ -176,8 +193,14 @@ impl Campaign {
         );
         let pool = WorkerPool::new(options.workers);
         let campaign_start = Instant::now();
+        let corpus: Option<Corpus> = options.corpus.as_ref().map(|dir| {
+            Corpus::open(dir)
+                .unwrap_or_else(|error| panic!("cannot open corpus at {}: {error}", dir.display()))
+        });
 
-        // Phase 1 — record one observed execution per (benchmark, seed).
+        // Phase 1 — record-or-load one observed execution per (benchmark,
+        // seed). Both paths analyze the history rebuilt from the canonical
+        // trace, so a corpus hit changes nothing but the time spent.
         let record_start = Instant::now();
         let cells: Vec<(Benchmark, u64)> = self
             .benchmarks
@@ -187,13 +210,19 @@ impl Campaign {
         let observations: Vec<Observation> = pool.run(&cells, |_, &(benchmark, seed)| {
             let busy = Instant::now();
             let config = self.config_for(seed);
-            let observed = record_observed(benchmark, &config);
-            let plan = ShardPlan::new(&observed.history, options.shard_policy);
+            let observed = observe_cell(benchmark, &config, corpus.as_ref());
+            let plan = ShardPlan::new(&observed.loaded.history, options.shard_policy);
+            // Provenance always reports a content address, even corpus-less.
+            let trace_hash = observed.hash();
             Observation {
                 benchmark,
                 seed,
                 config,
-                observed,
+                history: observed.loaded.history,
+                committed_indices: observed.loaded.committed_indices,
+                source: observed.source,
+                trace_hash,
+                record_us: observed.record_us,
                 plan,
                 busy: busy.elapsed(),
             }
@@ -230,9 +259,9 @@ impl Campaign {
                 ..PredictorConfig::default()
             });
             let outcome = match &observation.plan.units[task.unit] {
-                ShardUnit::Whole => predictor.predict(&observation.observed.history),
+                ShardUnit::Whole => predictor.predict(&observation.history),
                 ShardUnit::Component { txns, .. } => {
-                    predictor.predict_restricted(&observation.observed.history, txns)
+                    predictor.predict_restricted(&observation.history, txns)
                 }
             };
             (outcome, busy.elapsed())
@@ -283,12 +312,34 @@ impl Campaign {
             .map(|(record, _)| record)
             .collect();
         let summary = CampaignSummary::from_tasks(&tasks);
+        let provenance: Vec<ProvenanceRecord> = observations
+            .iter()
+            .map(|observation| ProvenanceRecord {
+                benchmark: observation.benchmark.name().to_string(),
+                seed: observation.seed,
+                trace_source: observation.source.name().to_string(),
+                trace_hash: observation.trace_hash.clone(),
+                record_us: observation.record_us,
+            })
+            .collect();
+        let corpus_hits = observations
+            .iter()
+            .filter(|o| o.source == TraceSource::Corpus)
+            .count();
+        let record_saved_us = observations
+            .iter()
+            .filter(|o| o.source == TraceSource::Corpus)
+            .map(|o| o.record_us)
+            .sum();
         let wall_us = wall.as_micros().max(1) as u64;
         let timing = CampaignTiming {
             workers: pool.workers(),
             wall_us,
             cpu_us: cpu.as_micros() as u64,
             record_us: record_wall.as_micros() as u64,
+            corpus_hits,
+            corpus_misses: observations.len() - corpus_hits,
+            record_saved_us,
             predict_us: predict_wall.as_micros() as u64,
             validate_us: validate_wall.as_micros() as u64,
             units_per_sec: unit_tasks.len() as f64 / (wall_us as f64 / 1e6),
@@ -297,17 +348,116 @@ impl Campaign {
         CampaignReport {
             tasks,
             summary,
+            provenance,
             timing,
         }
     }
 }
 
-/// A recorded (benchmark, seed) cell with its shard plan.
+/// Where an observed cell's trace came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum TraceSource {
+    /// The record phase ran for this cell.
+    Recorded,
+    /// The trace was loaded from the corpus; the record phase was skipped.
+    Corpus,
+}
+
+impl TraceSource {
+    pub(crate) fn name(self) -> &'static str {
+        match self {
+            TraceSource::Recorded => "recorded",
+            TraceSource::Corpus => "corpus",
+        }
+    }
+}
+
+/// An observed cell resolved to its canonical analysis form.
+pub(crate) struct ObservedCell {
+    pub(crate) loaded: LoadedTrace,
+    pub(crate) source: TraceSource,
+    /// Content address, when a corpus was involved (`None` for corpus-less
+    /// recordings — callers needing one hash the canonical trace themselves,
+    /// so corpus-less experiment runners never pay for an unused digest).
+    pub(crate) trace_hash: Option<String>,
+    /// Recording cost paid (when recorded) or saved (when loaded).
+    pub(crate) record_us: u64,
+}
+
+impl ObservedCell {
+    /// The cell's content address, computing it from the canonical trace
+    /// bytes when no corpus supplied one.
+    pub(crate) fn hash(&self) -> String {
+        self.trace_hash
+            .clone()
+            .unwrap_or_else(|| sha256_hex(self.loaded.trace.to_canonical_json().as_bytes()))
+    }
+}
+
+/// Record-or-load for one (benchmark, config) cell. On a corpus miss the
+/// freshly recorded trace is persisted so the *next* run hits.
+///
+/// # Panics
+///
+/// Panics when the corpus rejects the cell (corrupt object, key conflict) —
+/// campaign runs treat corpus failures as fatal configuration errors rather
+/// than silently re-recording, so drift never goes unnoticed.
+pub(crate) fn observe_cell(
+    benchmark: Benchmark,
+    config: &WorkloadConfig,
+    corpus: Option<&Corpus>,
+) -> ObservedCell {
+    if let Some(corpus) = corpus {
+        let hit = corpus
+            .load_observed(benchmark.name(), config)
+            .unwrap_or_else(|error| {
+                panic!(
+                    "corpus entry for {} seed {}: {error}",
+                    benchmark, config.seed
+                )
+            });
+        if let Some((entry, loaded)) = hit {
+            return ObservedCell {
+                loaded,
+                source: TraceSource::Corpus,
+                trace_hash: Some(entry.hash),
+                record_us: entry.record_us,
+            };
+        }
+    }
+    let record_start = Instant::now();
+    let run = record_observed(benchmark, config);
+    let record_us = record_start.elapsed().as_micros() as u64;
+    let trace = run.trace();
+    let trace_hash = corpus.map(|corpus| {
+        corpus
+            .store(&trace, record_us)
+            .unwrap_or_else(|error| {
+                panic!("persisting {} seed {}: {error}", benchmark, config.seed)
+            })
+            .hash
+    });
+    let loaded = LoadedTrace::new(trace).expect("recorder traces are valid histories");
+    ObservedCell {
+        loaded,
+        source: TraceSource::Recorded,
+        trace_hash,
+        record_us,
+    }
+}
+
+/// A recorded-or-loaded (benchmark, seed) cell with its shard plan.
 struct Observation {
     benchmark: Benchmark,
     seed: u64,
     config: WorkloadConfig,
-    observed: RunOutput,
+    /// The canonical history (rebuilt from the trace) every analysis runs on.
+    history: History,
+    /// Per session, plan indices of committed transactions (for validation).
+    committed_indices: Vec<Vec<usize>>,
+    source: TraceSource,
+    trace_hash: String,
+    record_us: u64,
     plan: ShardPlan,
     busy: Duration,
 }
@@ -337,14 +487,14 @@ fn finish_experiment(
     outcomes: &[&PredictionOutcome],
 ) -> TaskRecord {
     let plan = &observation.plan;
-    let merged = merge_outcomes(&observation.observed.history, outcomes, plan.sharded);
+    let merged = merge_outcomes(&observation.history, outcomes, plan.sharded);
 
     let (outcome, diverged, changed_reads) = match &merged.outcome {
         PredictionOutcome::NoPrediction { .. } => (ExperimentOutcome::NoPrediction, false, 0),
         PredictionOutcome::Unknown => (ExperimentOutcome::Unknown, false, 0),
         PredictionOutcome::Prediction(prediction) => {
             let validation_plan =
-                validate::plan_validation(prediction, &observation.observed.committed_indices);
+                validate::plan_validation(prediction, &observation.committed_indices);
             let validating_run = run(
                 observation.benchmark,
                 &observation.config,
@@ -381,13 +531,9 @@ fn finish_experiment(
         diverged,
         changed_reads,
         literals: merged.stats.literals,
-        observed_txns: observation
-            .observed
-            .history
-            .committed_transactions()
-            .count(),
-        observed_reads: observation.observed.history.num_reads(),
-        observed_writes: observation.observed.history.num_writes(),
+        observed_txns: observation.history.committed_transactions().count(),
+        observed_reads: observation.history.num_reads(),
+        observed_writes: observation.history.num_writes(),
     }
 }
 

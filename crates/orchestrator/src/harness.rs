@@ -5,9 +5,12 @@ use std::time::Duration;
 use isopredict::{
     validate, IsolationLevel, PredictionOutcome, Predictor, PredictorConfig, Strategy,
 };
+use isopredict_corpus::Corpus;
 use isopredict_smt::EncodingStats;
 use isopredict_store::StoreMode;
 use isopredict_workloads::{run, Benchmark, RunOutput, Schedule, WorkloadConfig};
+
+use crate::campaign::observe_cell;
 
 /// How one experiment run ended, mirroring the columns of Tables 4 and 5.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,6 +49,9 @@ pub struct ExperimentResult {
     pub solving_time: Duration,
     /// Characteristics of the observed execution (for Table 3).
     pub observed: isopredict_workloads::WorkloadCharacteristics,
+    /// `"recorded"` when the observed execution was recorded by this run,
+    /// `"corpus"` when it was loaded from a trace corpus.
+    pub trace_source: &'static str,
 }
 
 /// Records an observed (serializable) execution of `benchmark`.
@@ -69,8 +75,37 @@ pub fn run_experiment(
     isolation: IsolationLevel,
     conflict_budget: Option<u64>,
 ) -> ExperimentResult {
-    let observed_run = record_observed(benchmark, config);
-    let observed_chars = isopredict_workloads::WorkloadCharacteristics::of(&observed_run.history);
+    run_experiment_in(
+        benchmark,
+        config,
+        strategy,
+        isolation,
+        conflict_budget,
+        None,
+    )
+}
+
+/// Like [`run_experiment`], but record-or-load: with a corpus, an observed
+/// execution already on disk is loaded (skipping the record phase) and a
+/// fresh recording is persisted for next time.
+///
+/// Either way the analysis runs on the history rebuilt from the canonical
+/// trace, so the result is identical whether the trace was recorded this run
+/// or loaded from disk.
+#[must_use]
+pub fn run_experiment_in(
+    benchmark: Benchmark,
+    config: &WorkloadConfig,
+    strategy: Strategy,
+    isolation: IsolationLevel,
+    conflict_budget: Option<u64>,
+    corpus: Option<&Corpus>,
+) -> ExperimentResult {
+    let observed = observe_cell(benchmark, config, corpus);
+    let trace_source = observed.source.name();
+    let observed_history = observed.loaded.history;
+    let committed_indices = observed.loaded.committed_indices;
+    let observed_chars = isopredict_workloads::WorkloadCharacteristics::of(&observed_history);
 
     let predictor = Predictor::new(PredictorConfig {
         strategy,
@@ -78,7 +113,7 @@ pub fn run_experiment(
         conflict_budget,
         ..PredictorConfig::default()
     });
-    let outcome = predictor.predict(&observed_run.history);
+    let outcome = predictor.predict(&observed_history);
 
     let (experiment_outcome, diverged, stats, gen_time, solve_time) = match outcome {
         PredictionOutcome::NoPrediction { .. } => (
@@ -96,7 +131,7 @@ pub fn run_experiment(
             Duration::ZERO,
         ),
         PredictionOutcome::Prediction(prediction) => {
-            let plan = validate::plan_validation(&prediction, &observed_run.committed_indices);
+            let plan = validate::plan_validation(&prediction, &committed_indices);
             let validating_run = run(
                 benchmark,
                 config,
@@ -133,6 +168,7 @@ pub fn run_experiment(
         constraint_gen_time: gen_time,
         solving_time: solve_time,
         observed: observed_chars,
+        trace_source,
     }
 }
 

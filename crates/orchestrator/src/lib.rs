@@ -58,8 +58,10 @@ pub mod shard;
 pub mod worker;
 
 pub use campaign::{Campaign, CampaignOptions};
-pub use harness::{record_observed, run_experiment, ExperimentOutcome, ExperimentResult};
+pub use harness::{
+    record_observed, run_experiment, run_experiment_in, ExperimentOutcome, ExperimentResult,
+};
 pub use merge::{embed, merge_outcomes, MergedOutcome};
-pub use report::{CampaignReport, CampaignSummary, CampaignTiming, TaskRecord};
+pub use report::{CampaignReport, CampaignSummary, CampaignTiming, ProvenanceRecord, TaskRecord};
 pub use shard::{ShardPlan, ShardPolicy, ShardUnit};
 pub use worker::WorkerPool;

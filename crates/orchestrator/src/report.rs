@@ -8,7 +8,10 @@
 //!   is **byte-identical across runs and worker counts** — the campaign
 //!   runner's reproducibility contract, and what the determinism tests pin.
 //! * [`CampaignTiming`] carries the wall-clock measurements (which of course
-//!   vary run to run) and the parallel speedup estimate.
+//!   vary run to run) and the parallel speedup estimate; the per-cell
+//!   [`ProvenanceRecord`]s live beside it because the trace source
+//!   (`recorded` vs `corpus`) depends on what happens to be on disk, not on
+//!   the campaign specification.
 
 use serde::Serialize;
 
@@ -62,6 +65,28 @@ pub struct TaskRecord {
     pub observed_reads: usize,
     /// Write events in the observed execution.
     pub observed_writes: usize,
+}
+
+/// Where one observed (benchmark, seed) cell's trace came from.
+///
+/// Not part of the deterministic report half: a cold corpus records
+/// (`trace_source: "recorded"`), a warm one loads (`trace_source: "corpus"`),
+/// and the verdicts must be byte-identical either way.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct ProvenanceRecord {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Seed of the observed execution.
+    pub seed: u64,
+    /// `"recorded"` when the record phase ran for this cell, `"corpus"` when
+    /// the trace was loaded from disk and the record phase was skipped.
+    pub trace_source: String,
+    /// Content address of the observed trace.
+    pub trace_hash: String,
+    /// Wall-clock microseconds of the recording: the cost paid (when
+    /// `recorded`) or the cost *saved* by the corpus hit (when `corpus`,
+    /// measured at original record time).
+    pub record_us: u64,
 }
 
 /// Outcome counts over the whole campaign.
@@ -119,6 +144,14 @@ pub struct CampaignTiming {
     pub cpu_us: u64,
     /// Wall-clock time of the record phase, in microseconds.
     pub record_us: u64,
+    /// Cells whose trace was loaded from the corpus (record phase skipped).
+    pub corpus_hits: usize,
+    /// Cells that had to be recorded (and were persisted, when a corpus is
+    /// configured).
+    pub corpus_misses: usize,
+    /// Recording time saved by corpus hits, in microseconds: the sum of the
+    /// original record costs of every loaded cell.
+    pub record_saved_us: u64,
     /// Wall-clock time of the predict phase, in microseconds.
     pub predict_us: u64,
     /// Wall-clock time of the merge + validate phase, in microseconds.
@@ -141,6 +174,9 @@ pub struct CampaignReport {
     pub tasks: Vec<TaskRecord>,
     /// Outcome aggregates (deterministic).
     pub summary: CampaignSummary,
+    /// Per observed cell: where its trace came from (run-dependent — depends
+    /// on the corpus state, so excluded from the deterministic half).
+    pub provenance: Vec<ProvenanceRecord>,
     /// Wall-clock measurements (run-dependent).
     pub timing: CampaignTiming,
 }
@@ -215,12 +251,19 @@ mod tests {
     }
 
     #[test]
-    fn deterministic_json_excludes_timing() {
+    fn deterministic_json_excludes_timing_and_provenance() {
         let tasks = vec![record("validated", false, 1)];
         let summary = CampaignSummary::from_tasks(&tasks);
         let mut report = CampaignReport {
             tasks,
             summary,
+            provenance: vec![ProvenanceRecord {
+                benchmark: "Smallbank".into(),
+                seed: 0,
+                trace_source: "recorded".into(),
+                trace_hash: "ab".repeat(32),
+                record_us: 10,
+            }],
             timing: CampaignTiming {
                 workers: 4,
                 wall_us: 123,
@@ -230,9 +273,16 @@ mod tests {
         let first = report.deterministic_json();
         report.timing.wall_us = 456_789;
         report.timing.workers = 8;
+        // A warm rerun flips the source and saves the record cost — none of
+        // which may leak into the deterministic half.
+        report.provenance[0].trace_source = "corpus".into();
+        report.timing.corpus_hits = 1;
+        report.timing.record_saved_us = 10;
         assert_eq!(first, report.deterministic_json());
         assert!(report.to_json().contains("wall_us"));
+        assert!(report.to_json().contains("\"trace_source\": \"corpus\""));
         assert!(!first.contains("wall_us"));
+        assert!(!first.contains("trace_source"));
         assert!(first.contains("\"benchmark\": \"Smallbank\""));
     }
 }

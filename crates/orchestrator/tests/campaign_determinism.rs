@@ -26,6 +26,7 @@ fn campaign_reports_are_byte_identical_across_1_2_and_8_workers() {
                     workers,
                     conflict_budget: Some(2_000_000),
                     shard_policy: ShardPolicy::default(),
+                    corpus: None,
                 })
                 .deterministic_json()
         })
@@ -53,11 +54,13 @@ fn shard_policies_agree_on_experiment_verdicts() {
         workers: 2,
         conflict_budget: Some(2_000_000),
         shard_policy: ShardPolicy::Never,
+        corpus: None,
     });
     let sharded = campaign.run(&CampaignOptions {
         workers: 2,
         conflict_budget: Some(2_000_000),
         shard_policy: ShardPolicy::Always,
+        corpus: None,
     });
     assert_eq!(whole.tasks.len(), sharded.tasks.len());
     for (a, b) in whole.tasks.iter().zip(&sharded.tasks) {

@@ -50,6 +50,20 @@ impl StoreMode {
             }
         }
     }
+
+    /// A stable label naming the mode (and its level, for the weak modes),
+    /// used as the `isolation` field of recorded trace provenance. Corpus
+    /// index keys match on this string, so it must stay stable across
+    /// releases for a given mode.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            StoreMode::SerializableRecord => "serializable-record".to_string(),
+            StoreMode::RealisticRc => "realistic-rc".to_string(),
+            StoreMode::WeakRandom { level, .. } => format!("weak-random({level})"),
+            StoreMode::Controlled { level, .. } => format!("controlled({level})"),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -66,5 +80,19 @@ mod tests {
                 Some(level)
             );
         }
+    }
+
+    #[test]
+    fn mode_labels_are_stable_and_name_the_level() {
+        assert_eq!(StoreMode::SerializableRecord.label(), "serializable-record");
+        assert_eq!(StoreMode::RealisticRc.label(), "realistic-rc");
+        assert_eq!(
+            StoreMode::WeakRandom {
+                level: IsolationLevel::Causal,
+                seed: 1
+            }
+            .label(),
+            "weak-random(causal)"
+        );
     }
 }

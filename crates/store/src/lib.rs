@@ -56,3 +56,8 @@ pub use error::StoreError;
 pub use isolation::{IsolationLevel, StoreMode};
 pub use replay::{Divergence, DivergenceKind, ReplayScript};
 pub use value::Value;
+
+/// This store crate's version, stamped into recorded trace provenance so a
+/// corpus can tell traces of one recorder apart from another's (the corpus
+/// index key includes it).
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");

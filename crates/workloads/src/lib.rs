@@ -59,5 +59,5 @@ mod spec;
 pub use assertions::AssertionViolation;
 pub use config::{WorkloadConfig, WorkloadSize};
 pub use runner::{run, RunOutput, Schedule};
-pub use spec::{Benchmark, PlannedTxn, TxnResult};
+pub use spec::{Benchmark, ParseBenchmarkError, PlannedTxn, TxnResult};
 pub use stats::WorkloadCharacteristics;

@@ -4,7 +4,7 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-use isopredict_history::History;
+use isopredict_history::{History, Trace, TraceMeta};
 use isopredict_store::{Divergence, Engine, RunStats, StoreMode};
 
 use crate::assertions::AssertionViolation;
@@ -69,6 +69,10 @@ impl Schedule {
 pub struct RunOutput {
     /// The recorded execution history.
     pub history: History,
+    /// Provenance stamped on the execution at record time (benchmark, seed,
+    /// workload shape, store mode, recorder version). [`RunOutput::trace`]
+    /// attaches it, plus the committed plan indices, to the trace it builds.
+    pub provenance: Option<TraceMeta>,
     /// The transactions that committed, in execution order.
     pub committed: Vec<PlannedTxn>,
     /// The transactions that aborted, in execution order.
@@ -84,6 +88,23 @@ pub struct RunOutput {
     pub stats: RunStats,
     /// Divergences (only non-empty in [`StoreMode::Controlled`]).
     pub divergences: Vec<Divergence>,
+}
+
+impl RunOutput {
+    /// The execution as a serializable [`Trace`]: the committed history plus
+    /// the recorder-stamped provenance, with the committed plan indices a
+    /// steered replay needs — ready to persist in a trace corpus. Built on
+    /// demand so the runner's hot paths (validation replays, random
+    /// exploration) never pay for a trace they discard.
+    #[must_use]
+    pub fn trace(&self) -> Trace {
+        let mut trace = Trace::from_history(&self.history);
+        trace.meta = self.provenance.clone().map(|mut meta| {
+            meta.committed_plan_indices = Some(self.committed_indices.clone());
+            meta
+        });
+        trace
+    }
 }
 
 /// Runs `benchmark` under `config` against a fresh engine in `mode`,
@@ -108,6 +129,19 @@ pub fn run_on(
     schedule: &Schedule,
 ) -> RunOutput {
     benchmark.setup(engine, config);
+    // Stamp provenance before the workload runs, so traces of this execution
+    // identify themselves (the corpus index is populated from the trace, not
+    // re-derived from the caller's arguments).
+    engine.stamp_provenance(TraceMeta {
+        benchmark: benchmark.name().to_string(),
+        seed: config.seed,
+        sessions: config.sessions,
+        txns_per_session: config.txns_per_session,
+        scale: config.scale,
+        isolation: engine.mode_label(),
+        store_version: isopredict_store::VERSION.to_string(),
+        committed_plan_indices: None,
+    });
     let plans = benchmark.plan(config);
     let clients: Vec<_> = (0..config.sessions)
         .map(|s| engine.client(format!("session-{s}")))
@@ -132,6 +166,7 @@ pub fn run_on(
     let violations = benchmark.assertions(engine, config, &committed);
     RunOutput {
         history: engine.history(),
+        provenance: engine.provenance(),
         committed,
         aborted,
         committed_indices,
@@ -185,6 +220,43 @@ mod tests {
             &Schedule::Explicit(vec![(0, 0), (1, 0)]),
         );
         assert_eq!(output.committed.len() + output.aborted.len(), 2);
+    }
+
+    #[test]
+    fn run_outputs_carry_provenance_stamped_traces() {
+        let config = WorkloadConfig::small(3);
+        let output = run(
+            Benchmark::Smallbank,
+            &config,
+            StoreMode::SerializableRecord,
+            &Schedule::RoundRobin,
+        );
+        let trace = output.trace();
+        let meta = trace.meta.as_ref().expect("stamped at record time");
+        assert_eq!(meta.benchmark, "Smallbank");
+        assert_eq!(meta.seed, 3);
+        assert_eq!(meta.sessions, config.sessions);
+        assert_eq!(meta.txns_per_session, config.txns_per_session);
+        assert_eq!(meta.scale, config.scale);
+        assert_eq!(meta.isolation, "serializable-record");
+        assert_eq!(meta.store_version, isopredict_store::VERSION);
+        assert_eq!(
+            meta.committed_plan_indices.as_ref(),
+            Some(&output.committed_indices)
+        );
+        // The trace mirrors the committed history and is byte-deterministic.
+        let rebuilt = trace.to_history().expect("recorder trace is valid");
+        assert_eq!(
+            rebuilt.committed_transactions().count(),
+            output.history.committed_transactions().count()
+        );
+        let again = run(
+            Benchmark::Smallbank,
+            &config,
+            StoreMode::SerializableRecord,
+            &Schedule::RoundRobin,
+        );
+        assert_eq!(trace.to_canonical_json(), again.trace().to_canonical_json());
     }
 
     #[test]

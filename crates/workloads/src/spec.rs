@@ -119,6 +119,39 @@ impl std::fmt::Display for Benchmark {
     }
 }
 
+/// Error parsing a [`Benchmark`] name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBenchmarkError(String);
+
+impl std::fmt::Display for ParseBenchmarkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown benchmark `{}` (expected smallbank, voter, tpcc, wikipedia, or overdraft)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseBenchmarkError {}
+
+impl std::str::FromStr for Benchmark {
+    type Err = ParseBenchmarkError;
+
+    /// Parses a benchmark by CLI name, case-insensitively; the single parser
+    /// every binary shares, so aliases cannot drift between front ends.
+    fn from_str(name: &str) -> Result<Self, Self::Err> {
+        match name.to_ascii_lowercase().as_str() {
+            "smallbank" => Ok(Benchmark::Smallbank),
+            "voter" => Ok(Benchmark::Voter),
+            "tpcc" | "tpc-c" => Ok(Benchmark::Tpcc),
+            "wikipedia" => Ok(Benchmark::Wikipedia),
+            "overdraft" => Ok(Benchmark::Overdraft),
+            other => Err(ParseBenchmarkError(other.to_string())),
+        }
+    }
+}
+
 fn wrap<T>(plans: Vec<Vec<T>>, constructor: fn(T) -> PlannedTxn) -> Vec<Vec<PlannedTxn>> {
     plans
         .into_iter()
@@ -167,6 +200,22 @@ mod tests {
         let names: Vec<&str> = Benchmark::all().iter().map(Benchmark::name).collect();
         assert_eq!(names, vec!["Smallbank", "Voter", "TPC-C", "Wikipedia"]);
         assert_eq!(Benchmark::Tpcc.to_string(), "TPC-C");
+    }
+
+    #[test]
+    fn benchmarks_parse_by_cli_name() {
+        for benchmark in Benchmark::extended() {
+            let parsed: Benchmark = benchmark
+                .name()
+                .to_ascii_lowercase()
+                .parse()
+                .expect("lowercased display name parses");
+            assert_eq!(parsed, benchmark);
+        }
+        assert_eq!("tpcc".parse(), Ok(Benchmark::Tpcc));
+        assert_eq!("TPC-C".parse(), Ok(Benchmark::Tpcc));
+        let error = "mysql".parse::<Benchmark>().unwrap_err();
+        assert!(error.to_string().contains("unknown benchmark `mysql`"));
     }
 
     #[test]
