@@ -6,15 +6,18 @@
 //! count.
 //!
 //! Usage:
-//! `cargo run --release -p isopredict-bench --bin table4_5 -- [--isolation causal|rc|si] [--size small|large] [--seeds N] [--budget N] [--workers N] [--corpus DIR]`
+//! `cargo run --release -p isopredict-bench --bin table4_5 -- [--isolation causal|rc|si] [--size small|large] [--seeds N] [--budget N] [--workers N] [--corpus DIR] [--metrics PATH | --metrics-stdout]`
 //!
 //! With `--corpus DIR`, observed executions already in the trace corpus are
 //! loaded instead of re-recorded, and fresh recordings are persisted there.
+//! `--metrics PATH` streams the run's telemetry (phase spans, solver
+//! counters) as JSONL events to `PATH`.
 
-use isopredict::{IsolationLevel, Strategy};
-use isopredict_bench::harness::run_experiment_in;
+use isopredict::{IsolationLevel, Obs, Strategy};
+use isopredict_bench::harness::run_experiment_observed;
 use isopredict_bench::tables::PredictionRow;
 use isopredict_corpus::Corpus;
+use isopredict_obs::{metrics_registry, MetricsSection};
 use isopredict_orchestrator::WorkerPool;
 use isopredict_workloads::{Benchmark, WorkloadConfig, WorkloadSize};
 
@@ -37,8 +40,13 @@ fn main() {
         Some(workers) => WorkerPool::new(workers),
         None => WorkerPool::auto(),
     };
+    let registry = metrics_registry(&args);
+    let obs = registry.as_ref().map_or_else(Obs::off, |r| r.obs());
     let corpus: Option<Corpus> = arg(&args, "--corpus").map(|dir| {
-        Corpus::open(&dir).unwrap_or_else(|error| panic!("cannot open corpus at {dir}: {error}"))
+        let mut corpus = Corpus::open(&dir)
+            .unwrap_or_else(|error| panic!("cannot open corpus at {dir}: {error}"));
+        corpus.set_obs(obs.clone());
+        corpus
     });
 
     // Levels beyond the paper's two tables label themselves, so a future
@@ -66,17 +74,30 @@ fn main() {
                 .flat_map(move |strategy| (0..seeds).map(move |seed| (benchmark, strategy, seed)))
         })
         .collect();
+    let matrix_span = obs.span("table4_5");
     let results = pool.run(&cells, |_, &(benchmark, strategy, seed)| {
         let config = WorkloadConfig::sized(size, seed);
-        run_experiment_in(
+        let seed_label = seed.to_string();
+        let cell_span = matrix_span.obs().span_with(
+            "experiment",
+            &[
+                ("benchmark", benchmark.name()),
+                ("strategy", strategy.name()),
+                ("seed", &seed_label),
+            ],
+        );
+        run_experiment_observed(
             benchmark,
             &config,
             strategy,
             isolation,
             Some(budget),
             corpus.as_ref(),
+            cell_span.obs(),
         )
     });
+    let matrix_root = matrix_span.id();
+    matrix_span.finish();
     if corpus.is_some() {
         // Count unique observed executions, not experiments: each (benchmark,
         // seed) trace serves every strategy.
@@ -95,6 +116,17 @@ fn main() {
             loaded.len(),
             observed.len()
         );
+    }
+
+    if let (Some(registry), Some(root)) = (&registry, matrix_root) {
+        let metrics = MetricsSection::for_span(&registry.snapshot(), root);
+        eprintln!(
+            "metrics: {} span paths; {} solver conflicts, {} propagations",
+            metrics.spans.len(),
+            metrics.counter("solver.conflicts"),
+            metrics.counter("solver.propagations"),
+        );
+        registry.flush();
     }
 
     let seeds = seeds as usize;

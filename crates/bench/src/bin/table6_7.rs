@@ -7,16 +7,19 @@
 //! regardless of worker count.
 //!
 //! Usage:
-//! `cargo run --release -p isopredict-bench --bin table6_7 -- [--isolation causal|rc|si] [--size small|large] [--seeds N] [--runs-per-seed N] [--budget N] [--workers N] [--corpus DIR]`
+//! `cargo run --release -p isopredict-bench --bin table6_7 -- [--isolation causal|rc|si] [--size small|large] [--seeds N] [--runs-per-seed N] [--budget N] [--workers N] [--corpus DIR] [--metrics PATH | --metrics-stdout]`
 //!
 //! `--corpus DIR` applies to the IsoPredict pipeline's observed executions
 //! (the MonkeyDB-style random exploration is inherently re-executed).
+//! `--metrics PATH` streams the run's telemetry (exploration and pipeline
+//! spans, solver counters) as JSONL events to `PATH`.
 
-use isopredict::{IsolationLevel, Strategy};
-use isopredict_bench::harness::{run_experiment_in, ExperimentOutcome};
+use isopredict::{IsolationLevel, Obs, Strategy};
+use isopredict_bench::harness::{run_experiment_observed, ExperimentOutcome};
 use isopredict_bench::tables::ComparisonRow;
 use isopredict_corpus::Corpus;
 use isopredict_history::serializability;
+use isopredict_obs::metrics_registry;
 use isopredict_orchestrator::WorkerPool;
 use isopredict_workloads::{run, Benchmark, Schedule, WorkloadConfig, WorkloadSize};
 
@@ -52,8 +55,13 @@ fn main() {
         Some(workers) => WorkerPool::new(workers),
         None => WorkerPool::auto(),
     };
+    let registry = metrics_registry(&args);
+    let obs = registry.as_ref().map_or_else(Obs::off, |r| r.obs());
     let corpus: Option<Corpus> = arg(&args, "--corpus").map(|dir| {
-        Corpus::open(&dir).unwrap_or_else(|error| panic!("cannot open corpus at {dir}: {error}"))
+        let mut corpus = Corpus::open(&dir)
+            .unwrap_or_else(|error| panic!("cannot open corpus at {dir}: {error}"));
+        corpus.set_obs(obs.clone());
+        corpus
     });
 
     // The paper uses the best-performing strategy per isolation level:
@@ -87,9 +95,16 @@ fn main() {
         .into_iter()
         .flat_map(|benchmark| (0..seeds).map(move |seed| (benchmark, seed)))
         .collect();
+    let matrix_span = obs.span("table6_7");
     let tallies = pool.run(&cells, |_, &(benchmark, seed)| {
         let config = WorkloadConfig::sized(size, seed);
+        let seed_label = seed.to_string();
+        let cell_span = matrix_span.obs().span_with(
+            "cell",
+            &[("benchmark", benchmark.name()), ("seed", &seed_label)],
+        );
         let mut tally = SeedTally::default();
+        let exploration_span = cell_span.obs().span("exploration");
         for run_index in 0..runs_per_seed {
             tally.runs += 1;
             let monkey = run(
@@ -121,19 +136,25 @@ fn main() {
                 }
             }
         }
-        let result = run_experiment_in(
+        exploration_span.finish();
+        let result = run_experiment_observed(
             benchmark,
             &config,
             strategy,
             isolation,
             Some(budget),
             corpus.as_ref(),
+            cell_span.obs(),
         );
         if result.outcome == ExperimentOutcome::Validated {
             tally.validated += 1;
         }
         tally
     });
+    matrix_span.finish();
+    if let Some(registry) = &registry {
+        registry.flush();
+    }
 
     for (block, benchmark) in Benchmark::all().into_iter().enumerate() {
         let slice = &tallies[block * seeds as usize..(block + 1) * seeds as usize];

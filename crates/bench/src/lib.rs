@@ -20,5 +20,5 @@ pub mod tables;
 
 pub use isopredict_orchestrator::harness;
 pub use isopredict_orchestrator::harness::{
-    run_experiment, run_experiment_in, ExperimentOutcome, ExperimentResult,
+    run_experiment, run_experiment_in, run_experiment_observed, ExperimentOutcome, ExperimentResult,
 };

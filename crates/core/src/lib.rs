@@ -67,6 +67,7 @@ mod predict;
 mod prediction;
 
 pub use config::{BoundaryKind, PredictorConfig, Strategy};
+pub use isopredict_obs::Obs;
 pub use isopredict_store::IsolationLevel;
 pub use predict::{NoPredictionReason, PredictionOutcome, Predictor};
 pub use prediction::{ChangedRead, Prediction};

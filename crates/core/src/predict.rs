@@ -4,7 +4,8 @@
 use std::time::{Duration, Instant};
 
 use isopredict_history::{serializability, History, TxnId};
-use isopredict_smt::{SmtResult, TermId};
+use isopredict_obs::Obs;
+use isopredict_smt::{SmtResult, SolverStats, TermId};
 
 use crate::config::{PredictorConfig, Strategy};
 use crate::encode::Encoder;
@@ -89,9 +90,19 @@ impl Predictor {
     /// Predicts an unserializable execution from an observed history.
     #[must_use]
     pub fn predict(&self, observed: &History) -> PredictionOutcome {
+        self.predict_obs(observed, &Obs::off())
+    }
+
+    /// Like [`Predictor::predict`], reporting telemetry through `obs`:
+    /// an `encode` span with `feasibility`/`isolation`/`unserializability`
+    /// children, one `solve` span per solver call (labelled with its result),
+    /// `encode.*` size counters, and `solver.*` work counters diffed around
+    /// each call. With [`Obs::off`] the cost is a handful of branch checks.
+    #[must_use]
+    pub fn predict_obs(&self, observed: &History, obs: &Obs) -> PredictionOutcome {
         match self.config.strategy {
-            Strategy::ExactStrict => self.predict_exact(observed),
-            Strategy::ApproxStrict | Strategy::ApproxRelaxed => self.predict_approx(observed),
+            Strategy::ExactStrict => self.predict_exact(observed, obs),
+            Strategy::ApproxStrict | Strategy::ApproxRelaxed => self.predict_approx(observed, obs),
         }
     }
 
@@ -110,25 +121,55 @@ impl Predictor {
     /// changing the analyzed application behavior.
     #[must_use]
     pub fn predict_restricted(&self, observed: &History, keep: &[TxnId]) -> PredictionOutcome {
-        self.predict(&observed.restrict(keep, false))
+        self.predict_restricted_obs(observed, keep, &Obs::off())
+    }
+
+    /// Like [`Predictor::predict_restricted`], reporting telemetry through
+    /// `obs` (see [`Predictor::predict_obs`]).
+    #[must_use]
+    pub fn predict_restricted_obs(
+        &self,
+        observed: &History,
+        keep: &[TxnId],
+        obs: &Obs,
+    ) -> PredictionOutcome {
+        self.predict_obs(&observed.restrict(keep, false), obs)
     }
 
     /// The approximate strategies: one solver call over the full encoding.
-    fn predict_approx(&self, observed: &History) -> PredictionOutcome {
+    fn predict_approx(&self, observed: &History, obs: &Obs) -> PredictionOutcome {
         let gen_start = Instant::now();
+        let encode_span = obs.span("encode");
+        let encode_obs = encode_span.obs();
         let mut encoder = Encoder::new(observed, self.config.strategy.boundary());
-        encoder.encode_feasibility();
-        if self.config.require_change {
-            encoder.encode_require_change();
+        {
+            let _feasibility = encode_obs.span("feasibility");
+            encoder.encode_feasibility();
+            if self.config.require_change {
+                encoder.encode_require_change();
+            }
         }
-        encoder.encode_isolation(self.config.isolation);
-        let symbols = encoder.encode_approx_unserializability();
+        {
+            let _isolation = encode_obs.span("isolation");
+            encoder.encode_isolation(self.config.isolation);
+        }
+        let symbols = {
+            let _unser = encode_obs.span("unserializability");
+            encoder.encode_approx_unserializability()
+        };
+        count_encoding_size(obs, &encoder.smt.solver_stats());
+        encode_span.finish();
         let constraint_gen_time = gen_start.elapsed();
         encoder.smt.set_conflict_budget(self.config.conflict_budget);
 
+        let before = encoder.smt.solver_stats();
         let solve_start = Instant::now();
+        let solve_span = obs.span("solve");
         let result = encoder.smt.check();
+        solve_span.label("result", smt_result_label(result));
+        solve_span.finish();
         let solving_time = solve_start.elapsed();
+        count_solver_work(obs, &encoder.smt.solver_stats().diff(&before));
 
         match result {
             SmtResult::Unsat => PredictionOutcome::NoPrediction {
@@ -165,14 +206,24 @@ impl Predictor {
     /// feasible, isolation-valid candidate executions and accept the first
     /// whose prefix history admits no commit order. Each rejected candidate is
     /// blocked by a clause over its writer choices and boundaries.
-    fn predict_exact(&self, observed: &History) -> PredictionOutcome {
+    fn predict_exact(&self, observed: &History, obs: &Obs) -> PredictionOutcome {
         let gen_start = Instant::now();
+        let encode_span = obs.span("encode");
+        let encode_obs = encode_span.obs();
         let mut encoder = Encoder::new(observed, self.config.strategy.boundary());
-        encoder.encode_feasibility();
-        if self.config.require_change {
-            encoder.encode_require_change();
+        {
+            let _feasibility = encode_obs.span("feasibility");
+            encoder.encode_feasibility();
+            if self.config.require_change {
+                encoder.encode_require_change();
+            }
         }
-        encoder.encode_isolation(self.config.isolation);
+        {
+            let _isolation = encode_obs.span("isolation");
+            encoder.encode_isolation(self.config.isolation);
+        }
+        count_encoding_size(obs, &encoder.smt.solver_stats());
+        encode_span.finish();
         let constraint_gen_time = gen_start.elapsed();
         encoder.smt.set_conflict_budget(self.config.conflict_budget);
 
@@ -183,9 +234,14 @@ impl Predictor {
             if candidates_examined >= self.config.max_exact_candidates {
                 return PredictionOutcome::Unknown;
             }
+            let before = encoder.smt.solver_stats();
             let solve_start = Instant::now();
+            let solve_span = obs.span("solve");
             let result = encoder.smt.check();
+            solve_span.label("result", smt_result_label(result));
+            solve_span.finish();
             solving_time += solve_start.elapsed();
+            count_solver_work(obs, &encoder.smt.solver_stats().diff(&before));
 
             match result {
                 SmtResult::Unknown => return PredictionOutcome::Unknown,
@@ -199,6 +255,7 @@ impl Predictor {
                 }
                 SmtResult::Sat => {
                     candidates_examined += 1;
+                    obs.count("exact.candidates", 1);
                     let (predicted, boundaries, changed_reads) = extract(&encoder, observed);
                     let check_start = Instant::now();
                     let serializable = serializability::check(&predicted).is_serializable();
@@ -247,6 +304,33 @@ impl Predictor {
         }
         encoder.smt.or(literals)
     }
+}
+
+/// The deterministic `result` label attached to each `solve` span.
+fn smt_result_label(result: SmtResult) -> &'static str {
+    match result {
+        SmtResult::Sat => "sat",
+        SmtResult::Unsat => "unsat",
+        SmtResult::Unknown => "unknown",
+    }
+}
+
+/// Records the size of a freshly built encoding (`encode.*` counters).
+fn count_encoding_size(obs: &Obs, stats: &SolverStats) {
+    obs.count("encode.variables", stats.variables);
+    obs.count("encode.clauses", stats.clauses);
+    obs.count("encode.literals", stats.literals);
+}
+
+/// Records the solver work performed by one `check` call (`solver.*`
+/// counters), from a [`SolverStats::diff`] around the call.
+fn count_solver_work(obs: &Obs, delta: &SolverStats) {
+    obs.count("solver.decisions", delta.decisions);
+    obs.count("solver.propagations", delta.propagations);
+    obs.count("solver.conflicts", delta.conflicts);
+    obs.count("solver.theory_conflicts", delta.theory_conflicts);
+    obs.count("solver.restarts", delta.restarts);
+    obs.count("solver.deleted_clauses", delta.deleted_clauses);
 }
 
 /// Convenience: `TxnId` list rendering for diagnostics.
@@ -407,6 +491,59 @@ mod tests {
         if let (Some(a), Some(b)) = (whole.prediction(), restricted.prediction()) {
             assert_eq!(a.changed_reads, b.changed_reads);
         }
+    }
+
+    #[test]
+    fn predict_obs_records_encode_solve_spans_and_solver_counters() {
+        use isopredict_obs::{span_forest, MetricsSection, Registry};
+
+        let observed = chained_deposits();
+        let registry = Registry::new();
+        let obs = registry.obs();
+        let root = obs.span("predict");
+        let outcome = predictor(Strategy::ApproxRelaxed, IsolationLevel::Causal)
+            .predict_obs(&observed, root.obs());
+        assert!(outcome.is_prediction());
+        let root_id = root.id().expect("enabled");
+        root.finish();
+
+        let snapshot = registry.snapshot();
+        let forest = span_forest(&snapshot.spans);
+        assert_eq!(forest[0].name, "predict");
+        let rendered = forest[0].render();
+        for needle in ["encode", "feasibility", "isolation", "unserializability"] {
+            assert!(rendered.contains(needle), "missing {needle} in\n{rendered}");
+        }
+        assert!(rendered.contains("solve[result=sat]"), "{rendered}");
+
+        let metrics = MetricsSection::for_span(&snapshot, root_id);
+        assert!(metrics.span("predict/encode/feasibility").is_some());
+        assert_eq!(metrics.span("predict/solve").unwrap().count, 1);
+        assert!(metrics.counter("encode.variables") > 0);
+        assert!(metrics.counter("encode.clauses") > 0);
+        assert!(metrics.counter("solver.propagations") > 0);
+    }
+
+    #[test]
+    fn exact_strategy_counts_examined_candidates() {
+        use isopredict_obs::Registry;
+
+        let observed = deposit_withdraw_deposit();
+        let registry = Registry::new();
+        let obs = registry.obs();
+        let _ =
+            predictor(Strategy::ExactStrict, IsolationLevel::Causal).predict_obs(&observed, &obs);
+        let snapshot = registry.snapshot();
+        // Every sat solver answer examined one candidate.
+        let sat_solves = snapshot
+            .spans
+            .iter()
+            .filter(|s| {
+                s.name == "solve" && s.labels.iter().any(|(k, v)| k == "result" && v == "sat")
+            })
+            .count() as u64;
+        assert_eq!(snapshot.counter("exact.candidates"), sat_solves);
+        assert!(snapshot.spans.iter().any(|s| s.name == "encode"));
     }
 
     #[test]

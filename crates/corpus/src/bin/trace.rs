@@ -4,8 +4,10 @@
 //! `cargo run --release -p isopredict-corpus --bin trace -- <command> --corpus DIR [...]`
 //!
 //! Commands:
-//! * `record  --corpus DIR [--benchmarks smallbank,voter,...] [--seeds N] [--size small|large]`
-//!   — record observed executions and persist them (cached cells are skipped).
+//! * `record  --corpus DIR [--benchmarks smallbank,voter,...] [--seeds N] [--size small|large] [--metrics PATH | --metrics-stdout]`
+//!   — record observed executions and persist them (cached cells are
+//!   skipped). `--metrics PATH` streams per-cell `record` spans and
+//!   `corpus.*` counters as JSONL events to `PATH`.
 //! * `ls      --corpus DIR` — list indexed traces.
 //! * `show    --corpus DIR HASH` — print a trace (hash may be abbreviated).
 //! * `import  --corpus DIR FILE [--benchmark NAME] [--seed N] [--isolation LABEL]`
@@ -20,6 +22,7 @@ use std::time::Instant;
 use isopredict_corpus::hash::sha256;
 use isopredict_corpus::{Corpus, CorpusError};
 use isopredict_history::TraceMeta;
+use isopredict_obs::{metrics_registry, Obs};
 use isopredict_store::StoreMode;
 use isopredict_workloads::{run, Benchmark, Schedule, WorkloadConfig, WorkloadSize};
 
@@ -33,15 +36,18 @@ fn main() -> ExitCode {
         eprintln!("trace {command}: --corpus DIR is required");
         return ExitCode::FAILURE;
     };
-    let corpus = match Corpus::open(&dir) {
+    let registry = metrics_registry(&args);
+    let obs = registry.as_ref().map_or_else(Obs::off, |r| r.obs());
+    let mut corpus = match Corpus::open(&dir) {
         Ok(corpus) => corpus,
         Err(error) => {
             eprintln!("trace: cannot open corpus at {dir}: {error}");
             return ExitCode::FAILURE;
         }
     };
+    corpus.set_obs(obs.clone());
     let result = match command {
-        "record" => record(&corpus, &args),
+        "record" => record(&corpus, &args, &obs),
         "ls" => ls(&corpus),
         "show" => show(&corpus, &args),
         "import" => import(&corpus, &args),
@@ -52,6 +58,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Some(registry) = &registry {
+        registry.flush();
+    }
     match result {
         Ok(code) => code,
         Err(error) => {
@@ -61,7 +70,7 @@ fn main() -> ExitCode {
     }
 }
 
-fn record(corpus: &Corpus, args: &[String]) -> Result<ExitCode, CorpusError> {
+fn record(corpus: &Corpus, args: &[String], obs: &Obs) -> Result<ExitCode, CorpusError> {
     let benchmarks: Vec<Benchmark> = match arg(args, "--benchmarks") {
         Some(list) => list.split(',').map(parse_benchmark).collect(),
         None => Benchmark::extended().to_vec(),
@@ -80,8 +89,14 @@ fn record(corpus: &Corpus, args: &[String]) -> Result<ExitCode, CorpusError> {
     );
     for &benchmark in &benchmarks {
         for seed in 0..seeds {
+            let seed_label = seed.to_string();
+            let cell_span = obs.span_with(
+                "record",
+                &[("benchmark", benchmark.name()), ("seed", &seed_label)],
+            );
             let config = WorkloadConfig::sized(size, seed);
             if let Some((entry, _)) = corpus.load_observed(benchmark.name(), &config)? {
+                cell_span.label("source", "corpus");
                 println!(
                     "{:<11} {:>5} {:<8} {:>6} {:>8.1}ms  {}",
                     benchmark.name(),
@@ -102,6 +117,7 @@ fn record(corpus: &Corpus, args: &[String]) -> Result<ExitCode, CorpusError> {
             );
             let record_us = start.elapsed().as_micros() as u64;
             let receipt = corpus.store(&output.trace(), record_us)?;
+            cell_span.label("source", "recorded");
             println!(
                 "{:<11} {:>5} {:<8} {:>6} {:>8.1}ms  {}",
                 benchmark.name(),

@@ -1,0 +1,56 @@
+//! Validates a JSONL metrics event stream against the schema.
+//!
+//! Usage: `obs_check <events.jsonl> [--allow-open-spans]`
+//!
+//! Checks every line parses as an event, the header is present with a
+//! supported schema version, sequence numbers strictly increase, and span
+//! start/end events pair up with known parents. By default every started
+//! span must also have finished (a complete run); `--allow-open-spans`
+//! relaxes that for streams cut mid-run.
+//!
+//! Exits 0 and prints a one-line summary on success; exits 1 with the first
+//! defect (and its line number) otherwise.
+
+use std::process::ExitCode;
+
+use isopredict_obs::validate_stream;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let allow_open = args.iter().any(|a| a == "--allow-open-spans");
+    let Some(path) = args.get(1).filter(|a| !a.starts_with("--")) else {
+        eprintln!("usage: obs_check <events.jsonl> [--allow-open-spans]");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(error) => {
+            eprintln!("obs_check: cannot read {path}: {error}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match validate_stream(&text) {
+        Ok(summary) => {
+            if summary.spans_finished < summary.spans_started && !allow_open {
+                eprintln!(
+                    "obs_check: {}: {} span(s) never finished (pass --allow-open-spans for streams cut mid-run)",
+                    path,
+                    summary.spans_started - summary.spans_finished
+                );
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "obs_check: {path}: {} events OK ({} spans, {} counter updates, {} gauge updates)",
+                summary.events,
+                summary.spans_finished,
+                summary.counter_updates,
+                summary.gauge_updates
+            );
+            ExitCode::SUCCESS
+        }
+        Err(error) => {
+            eprintln!("obs_check: {path}: {error}");
+            ExitCode::FAILURE
+        }
+    }
+}

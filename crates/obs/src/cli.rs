@@ -1,0 +1,79 @@
+//! CLI plumbing shared by the workspace binaries: `--metrics <path>` /
+//! `--metrics-stdout` parsing into a sink-equipped [`Registry`].
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+
+use crate::registry::Registry;
+
+/// Builds a [`Registry`] from the standard metrics flags, if any are present:
+///
+/// * `--metrics <path>` — stream JSONL events to `path` (buffered; call
+///   [`Registry::flush`] before exiting);
+/// * `--metrics-stdout` — stream JSONL events to standard output.
+///
+/// Returns `None` when neither flag is given (telemetry off). `args` is the
+/// full argument vector, `std::env::args().collect()` style.
+///
+/// # Panics
+///
+/// Panics when `--metrics` is given without a path or the file cannot be
+/// created — metrics were explicitly requested, so failing silently would be
+/// worse than failing loudly.
+#[must_use]
+pub fn metrics_registry(args: &[String]) -> Option<Registry> {
+    let to_stdout = args.iter().any(|a| a == "--metrics-stdout");
+    let to_file = args.iter().position(|a| a == "--metrics").map(|i| {
+        args.get(i + 1)
+            .filter(|v| !v.starts_with("--"))
+            .unwrap_or_else(|| panic!("--metrics requires a file path"))
+            .clone()
+    });
+    let sink: Box<dyn Write + Send> = match (to_file, to_stdout) {
+        (Some(path), _) => Box::new(BufWriter::new(
+            File::create(&path)
+                .unwrap_or_else(|error| panic!("cannot create metrics stream {path}: {error}")),
+        )),
+        (None, true) => Box::new(std::io::stdout()),
+        (None, false) => return None,
+    };
+    Some(Registry::with_sink(sink))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(ToString::to_string).collect()
+    }
+
+    #[test]
+    fn no_flags_means_no_registry() {
+        assert!(metrics_registry(&argv(&["bin", "--out", "x.json"])).is_none());
+    }
+
+    #[test]
+    fn metrics_flag_streams_to_the_file() {
+        let dir = std::env::temp_dir().join("isopredict-obs-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("events.jsonl");
+        let path_str = path.to_str().unwrap().to_string();
+        {
+            let registry =
+                metrics_registry(&argv(&["bin", "--metrics", &path_str])).expect("registry");
+            registry.obs().span("phase").finish();
+            registry.flush();
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let summary = crate::event::validate_stream(&text).expect("valid stream");
+        assert_eq!(summary.spans_finished, 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "--metrics requires a file path")]
+    fn metrics_flag_without_a_path_panics() {
+        let _ = metrics_registry(&argv(&["bin", "--metrics", "--out"]));
+    }
+}

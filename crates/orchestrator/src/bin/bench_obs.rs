@@ -1,0 +1,171 @@
+//! Measures what observability costs: identical campaigns with telemetry off
+//! (`Obs::off`) versus fully on (spans + counters + JSONL event streaming),
+//! interleaved, taking the minimum wall time of each mode.
+//!
+//! Besides the overhead, the run re-checks the two contracts the
+//! instrumentation ships with: the deterministic report halves must be
+//! byte-identical with metrics on and off, and the named phase spans must
+//! attribute ≥95% of the campaign wall time.
+//!
+//! Usage:
+//! `cargo run --release -p isopredict-orchestrator --bin bench_obs -- \
+//!     [--seeds N] [--iterations N] [--workers N] [--max-overhead-pct F] [--out PATH]`
+//!
+//! Writes a JSON summary (default `BENCH_obs.json`).
+
+use isopredict::{IsolationLevel, Obs, Strategy};
+use isopredict_obs::{validate_stream, BufferSink, Registry};
+use isopredict_orchestrator::{Campaign, CampaignOptions};
+use isopredict_workloads::Benchmark;
+use serde::Serialize;
+
+/// The `BENCH_obs.json` document.
+#[derive(Serialize)]
+struct Bench {
+    matrix: String,
+    experiments: usize,
+    workers: usize,
+    iterations: usize,
+    /// Minimum campaign wall time with telemetry off, in microseconds.
+    off_wall_us: u64,
+    /// Minimum campaign wall time with spans, counters and JSONL event
+    /// streaming all on, in microseconds.
+    on_wall_us: u64,
+    /// `(on - off) / off`, in percent (negative when the on-run happened to
+    /// be faster — the instrumentation cost is below measurement noise).
+    overhead_pct: f64,
+    /// Fraction of the campaign span's wall time attributed to its named
+    /// phase children (record/predict/validate), from the on-run's metrics.
+    attributed_wall_fraction: f64,
+    /// JSONL events emitted by one instrumented run.
+    events_per_run: usize,
+    /// Span paths in the aggregated metrics section.
+    span_paths: usize,
+    /// Whether the deterministic report halves were byte-identical between
+    /// the off- and on-runs.
+    deterministic_identical: bool,
+    notes: String,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let seeds: u64 = arg(&args, "--seeds")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    let iterations: usize = arg(&args, "--iterations")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5);
+    let workers: usize = arg(&args, "--workers")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    let max_overhead_pct: f64 = arg(&args, "--max-overhead-pct")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2.0);
+    let out = arg(&args, "--out").unwrap_or_else(|| "BENCH_obs.json".to_string());
+
+    // The BENCH_corpus matrix: read committed keeps every solve decisive, so
+    // the runs are dominated by real solver work — exactly the workload the
+    // instrumentation must not perturb.
+    let campaign = Campaign::new()
+        .benchmarks([Benchmark::Smallbank, Benchmark::Voter])
+        .seeds(0..seeds)
+        .strategies([Strategy::ApproxRelaxed])
+        .isolations([IsolationLevel::ReadCommitted]);
+    let options = CampaignOptions {
+        workers,
+        ..CampaignOptions::default()
+    };
+    eprintln!(
+        "bench_obs: {} experiments, {iterations} interleaved off/on iterations",
+        campaign.experiments()
+    );
+
+    let mut off_wall_us = u64::MAX;
+    let mut on_wall_us = u64::MAX;
+    let mut det_off: Option<String> = None;
+    let mut det_on: Option<String> = None;
+    let mut attributed = 0.0;
+    let mut events_per_run = 0;
+    let mut span_paths = 0;
+
+    for iteration in 0..iterations {
+        let off_report = campaign.run_observed(&options, &Obs::off());
+        assert!(off_report.metrics.is_none(), "off-run must not aggregate");
+        off_wall_us = off_wall_us.min(off_report.timing.wall_us);
+        det_off.get_or_insert_with(|| off_report.deterministic_json());
+
+        let sink = BufferSink::new();
+        let registry = Registry::with_sink(Box::new(sink.clone()));
+        let on_report = campaign.run_observed(&options, &registry.obs());
+        registry.flush();
+        on_wall_us = on_wall_us.min(on_report.timing.wall_us);
+        det_on.get_or_insert_with(|| on_report.deterministic_json());
+
+        let metrics = on_report.metrics.as_ref().expect("on-run aggregates");
+        attributed = metrics.attributed_wall_fraction;
+        span_paths = metrics.spans.len();
+        let stream = sink.contents();
+        let summary = validate_stream(&stream).expect("instrumented run streams valid JSONL");
+        events_per_run = summary.events;
+        eprintln!(
+            "  iteration {iteration}: off {:.2}s, on {:.2}s ({} events)",
+            off_report.timing.wall_us as f64 / 1e6,
+            on_report.timing.wall_us as f64 / 1e6,
+            summary.events
+        );
+    }
+
+    let overhead_pct = (on_wall_us as f64 - off_wall_us as f64) / off_wall_us as f64 * 100.0;
+    let deterministic_identical = det_off == det_on;
+    let bench = Bench {
+        matrix: format!("smallbank+voter × {seeds} seeds × rc (small)"),
+        experiments: campaign.experiments(),
+        workers,
+        iterations,
+        off_wall_us,
+        on_wall_us,
+        overhead_pct,
+        attributed_wall_fraction: attributed,
+        events_per_run,
+        span_paths,
+        deterministic_identical,
+        notes: "Minimum wall time over interleaved off/on iterations; 'on' includes span \
+                bookkeeping, counter updates and JSONL event streaming to an in-memory sink. \
+                Deterministic report halves are asserted byte-identical with telemetry on and \
+                off, and the record/predict/validate phase spans must attribute >=95% of the \
+                campaign span's wall time."
+            .to_string(),
+    };
+    std::fs::write(
+        &out,
+        serde_json::to_string_pretty(&bench).expect("serialize"),
+    )
+    .expect("write bench report");
+    eprintln!(
+        "bench_obs: off {:.2}s, on {:.2}s -> {overhead_pct:.2}% overhead, {:.1}% wall attributed; wrote {out}",
+        off_wall_us as f64 / 1e6,
+        on_wall_us as f64 / 1e6,
+        attributed * 100.0
+    );
+
+    assert!(
+        deterministic_identical,
+        "deterministic report half changed when telemetry was enabled"
+    );
+    assert!(
+        attributed >= 0.95,
+        "phase spans attribute only {:.1}% of campaign wall time",
+        attributed * 100.0
+    );
+    assert!(
+        overhead_pct < max_overhead_pct,
+        "instrumentation overhead {overhead_pct:.2}% exceeds {max_overhead_pct}%"
+    );
+}
+
+fn arg(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}

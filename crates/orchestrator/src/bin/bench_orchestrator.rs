@@ -47,6 +47,12 @@ struct BenchReport {
     /// Whether every worker count produced byte-identical deterministic
     /// reports.
     deterministic: bool,
+    /// `"insufficient_parallelism"` note when the host has fewer CPUs than
+    /// the largest requested worker count — multi-worker points then
+    /// time-share cores and their speedups understate the orchestrator, so
+    /// readers of this file must not treat them as regressions. `None` on
+    /// hosts with enough CPUs.
+    warning: Option<String>,
     /// Per worker-count measurements.
     points: Vec<WorkerPoint>,
 }
@@ -135,12 +141,24 @@ fn main() {
         });
     }
 
+    let max_requested = worker_counts.iter().copied().max().unwrap_or(1);
+    let warning = (available < max_requested).then(|| {
+        format!(
+            "insufficient_parallelism: host has {available} CPU(s) but up to \
+             {max_requested} workers were requested; multi-worker points \
+             time-share cores and understate the parallel speedup"
+        )
+    });
+    if let Some(warning) = &warning {
+        eprintln!("WARNING: {warning}");
+    }
     let bench = BenchReport {
         campaign: format!("smallbank+voter small, {seeds} seeds, approx-relaxed, causal+rc"),
         experiments: campaign.experiments(),
         analysis_units,
         available_parallelism: available,
         deterministic,
+        warning,
         points,
     };
     std::fs::write(

@@ -7,15 +7,19 @@
 //!     [--strategies exact-strict,approx-strict,approx-relaxed] \
 //!     [--isolation causal,rc,si] [--size small|large] [--budget N] \
 //!     [--workers N] [--shard auto|never|always] [--corpus DIR] \
-//!     [--out PATH] [--det-out PATH]`
+//!     [--out PATH] [--det-out PATH] [--metrics PATH | --metrics-stdout]`
 //!
 //! With `--corpus DIR`, observed cells already in the corpus are loaded
 //! instead of re-recorded (`trace_source: corpus` in the report) and fresh
 //! recordings are persisted for next time. `--det-out` writes only the
 //! deterministic report half (tasks + summary), which is byte-identical
-//! across runs, worker counts, and cold/warm corpora.
+//! across runs, worker counts, and cold/warm corpora — and whether or not
+//! telemetry is collected. `--metrics PATH` streams the run's JSONL event
+//! stream (spans, solver counters) to `PATH` and embeds the aggregated
+//! `metrics` section in the report; `--metrics-stdout` streams to stdout.
 
-use isopredict::{IsolationLevel, Strategy};
+use isopredict::{IsolationLevel, Obs, Strategy};
+use isopredict_obs::metrics_registry;
 use isopredict_orchestrator::{Campaign, CampaignOptions, ShardPolicy};
 use isopredict_workloads::{Benchmark, WorkloadSize};
 
@@ -69,7 +73,12 @@ fn main() {
         campaign.experiments(),
         options.workers
     );
-    let report = campaign.run(&options);
+    let registry = metrics_registry(&args);
+    let obs = registry.as_ref().map_or_else(Obs::off, |r| r.obs());
+    let report = campaign.run_observed(&options, &obs);
+    if let Some(registry) = &registry {
+        registry.flush();
+    }
 
     println!(
         "{:<11} {:>5} {:<15} {:<15} {:>6} {:>6} {:<8} {:<18} {:>9}",
@@ -114,6 +123,15 @@ fn main() {
             report.timing.corpus_hits,
             report.timing.corpus_misses,
             report.timing.record_saved_us as f64 / 1e6,
+        );
+    }
+    if let Some(metrics) = &report.metrics {
+        println!(
+            "metrics: {:.1}% of campaign wall attributed to {} span paths; {} solver conflicts, {} propagations",
+            metrics.attributed_wall_fraction * 100.0,
+            metrics.spans.len(),
+            metrics.counter("solver.conflicts"),
+            metrics.counter("solver.propagations"),
         );
     }
 

@@ -32,6 +32,7 @@ use std::time::{Duration, Instant};
 use isopredict::{validate, PredictionOutcome, Predictor, PredictorConfig, Strategy};
 use isopredict_corpus::{hash::sha256_hex, Corpus, LoadedTrace};
 use isopredict_history::History;
+use isopredict_obs::{MetricsSection, Obs};
 use isopredict_store::{IsolationLevel, StoreMode};
 use isopredict_workloads::{run, Benchmark, Schedule, WorkloadConfig, WorkloadSize};
 
@@ -187,31 +188,63 @@ impl Campaign {
     /// Panics if the campaign matrix is empty along any dimension.
     #[must_use]
     pub fn run(&self, options: &CampaignOptions) -> CampaignReport {
+        self.run_observed(options, &Obs::off())
+    }
+
+    /// Like [`Campaign::run`], reporting telemetry through `obs`: a
+    /// `campaign` root span with `record`/`predict`/`validate` phase
+    /// children, per-cell `cell` spans (with a `connectivity` child), one
+    /// span per analysis unit (named `whole` / `shard-N`, nesting the
+    /// predictor's `encode` and `solve` spans), per-experiment `experiment`
+    /// spans labelled with their outcome, and the predictor's and corpus's
+    /// counters. The aggregated [`MetricsSection`] lands in the report's
+    /// non-deterministic half; the deterministic half is byte-identical
+    /// whether telemetry is collected or not.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the campaign matrix is empty along any dimension.
+    #[must_use]
+    pub fn run_observed(&self, options: &CampaignOptions, obs: &Obs) -> CampaignReport {
         assert!(
             self.experiments() > 0,
             "campaign matrix is empty along some dimension"
         );
         let pool = WorkerPool::new(options.workers);
+        let campaign_span = obs.span("campaign");
+        let campaign_obs = campaign_span.obs();
+        campaign_obs.gauge("workers", pool.workers() as u64);
         let campaign_start = Instant::now();
         let corpus: Option<Corpus> = options.corpus.as_ref().map(|dir| {
-            Corpus::open(dir)
-                .unwrap_or_else(|error| panic!("cannot open corpus at {}: {error}", dir.display()))
+            let mut corpus = Corpus::open(dir)
+                .unwrap_or_else(|error| panic!("cannot open corpus at {}: {error}", dir.display()));
+            corpus.set_obs(campaign_obs.clone());
+            corpus
         });
 
         // Phase 1 — record-or-load one observed execution per (benchmark,
         // seed). Both paths analyze the history rebuilt from the canonical
         // trace, so a corpus hit changes nothing but the time spent.
         let record_start = Instant::now();
+        let record_span = campaign_obs.span("record");
         let cells: Vec<(Benchmark, u64)> = self
             .benchmarks
             .iter()
             .flat_map(|&benchmark| self.seeds.iter().map(move |&seed| (benchmark, seed)))
             .collect();
         let observations: Vec<Observation> = pool.run(&cells, |_, &(benchmark, seed)| {
+            let seed_label = seed.to_string();
+            let cell_span = record_span.obs().span_with(
+                "cell",
+                &[("benchmark", benchmark.name()), ("seed", &seed_label)],
+            );
             let busy = Instant::now();
             let config = self.config_for(seed);
             let observed = observe_cell(benchmark, &config, corpus.as_ref());
-            let plan = ShardPlan::new(&observed.loaded.history, options.shard_policy);
+            let plan = {
+                let _connectivity = cell_span.obs().span("connectivity");
+                ShardPlan::new(&observed.loaded.history, options.shard_policy)
+            };
             // Provenance always reports a content address, even corpus-less.
             let trace_hash = observed.hash();
             Observation {
@@ -227,11 +260,13 @@ impl Campaign {
                 busy: busy.elapsed(),
             }
         });
+        record_span.finish();
         let record_wall = record_start.elapsed();
 
         // Phase 2 — one prediction task per (observation, strategy,
         // isolation, shard unit), expanded in deterministic matrix order.
         let predict_start = Instant::now();
+        let predict_span = campaign_obs.span("predict");
         let mut unit_tasks: Vec<UnitTask> = Vec::new();
         for (observation_index, observation) in observations.iter().enumerate() {
             let budgets = observation.plan.unit_budgets(options.conflict_budget);
@@ -252,25 +287,39 @@ impl Campaign {
         let unit_results: Vec<(PredictionOutcome, Duration)> = pool.run(&unit_tasks, |_, task| {
             let busy = Instant::now();
             let observation = &observations[task.observation];
+            let unit = &observation.plan.units[task.unit];
+            let seed_label = observation.seed.to_string();
+            let isolation_label = task.isolation.to_string();
+            let unit_span = predict_span.obs().span_with(
+                &unit.label(),
+                &[
+                    ("benchmark", observation.benchmark.name()),
+                    ("seed", &seed_label),
+                    ("strategy", task.strategy.name()),
+                    ("isolation", &isolation_label),
+                ],
+            );
             let predictor = Predictor::new(PredictorConfig {
                 strategy: task.strategy,
                 isolation: task.isolation,
                 conflict_budget: task.conflict_budget,
                 ..PredictorConfig::default()
             });
-            let outcome = match &observation.plan.units[task.unit] {
-                ShardUnit::Whole => predictor.predict(&observation.history),
+            let outcome = match unit {
+                ShardUnit::Whole => predictor.predict_obs(&observation.history, unit_span.obs()),
                 ShardUnit::Component { txns, .. } => {
-                    predictor.predict_restricted(&observation.history, txns)
+                    predictor.predict_restricted_obs(&observation.history, txns, unit_span.obs())
                 }
             };
             (outcome, busy.elapsed())
         });
+        predict_span.finish();
         let predict_wall = predict_start.elapsed();
 
         // Phase 3 — merge shard verdicts per experiment and validate
         // predictions by steered replay.
         let validate_start = Instant::now();
+        let validate_span = campaign_obs.span("validate");
         let mut experiments: Vec<ExperimentInput> = Vec::new();
         {
             let mut cursor = 0usize;
@@ -294,12 +343,25 @@ impl Campaign {
             pool.run(&experiments, |_, experiment| {
                 let busy = Instant::now();
                 let observation = &observations[experiment.observation];
+                let seed_label = observation.seed.to_string();
+                let isolation_label = experiment.isolation.to_string();
+                let experiment_span = validate_span.obs().span_with(
+                    "experiment",
+                    &[
+                        ("benchmark", observation.benchmark.name()),
+                        ("seed", &seed_label),
+                        ("strategy", experiment.strategy.name()),
+                        ("isolation", &isolation_label),
+                    ],
+                );
                 let (lo, hi) = experiment.unit_range;
                 let outcomes: Vec<&PredictionOutcome> =
                     unit_results[lo..hi].iter().map(|(o, _)| o).collect();
                 let record = finish_experiment(experiment, observation, &outcomes);
+                experiment_span.label("outcome", &record.outcome);
                 (record, busy.elapsed())
             });
+        validate_span.finish();
         let validate_wall = validate_start.elapsed();
 
         // Aggregate.
@@ -345,11 +407,18 @@ impl Campaign {
             units_per_sec: unit_tasks.len() as f64 / (wall_us as f64 / 1e6),
             speedup_estimate: cpu.as_micros() as f64 / wall_us as f64,
         };
+        let root_id = campaign_span.id();
+        campaign_span.finish();
+        let metrics = match (root_id, obs.snapshot()) {
+            (Some(root), Some(snapshot)) => Some(MetricsSection::for_span(&snapshot, root)),
+            _ => None,
+        };
         CampaignReport {
             tasks,
             summary,
             provenance,
             timing,
+            metrics,
         }
     }
 }

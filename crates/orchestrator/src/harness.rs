@@ -6,6 +6,7 @@ use isopredict::{
     validate, IsolationLevel, PredictionOutcome, Predictor, PredictorConfig, Strategy,
 };
 use isopredict_corpus::Corpus;
+use isopredict_obs::Obs;
 use isopredict_smt::EncodingStats;
 use isopredict_store::StoreMode;
 use isopredict_workloads::{run, Benchmark, RunOutput, Schedule, WorkloadConfig};
@@ -101,7 +102,34 @@ pub fn run_experiment_in(
     conflict_budget: Option<u64>,
     corpus: Option<&Corpus>,
 ) -> ExperimentResult {
-    let observed = observe_cell(benchmark, config, corpus);
+    run_experiment_observed(
+        benchmark,
+        config,
+        strategy,
+        isolation,
+        conflict_budget,
+        corpus,
+        &Obs::off(),
+    )
+}
+
+/// Like [`run_experiment_in`], reporting telemetry through `obs`: `record`,
+/// `predict` (nesting the predictor's `encode`/`solve` spans) and `validate`
+/// phase spans, the latter labelled with the experiment outcome.
+#[must_use]
+pub fn run_experiment_observed(
+    benchmark: Benchmark,
+    config: &WorkloadConfig,
+    strategy: Strategy,
+    isolation: IsolationLevel,
+    conflict_budget: Option<u64>,
+    corpus: Option<&Corpus>,
+    obs: &Obs,
+) -> ExperimentResult {
+    let observed = {
+        let _record = obs.span("record");
+        observe_cell(benchmark, config, corpus)
+    };
     let trace_source = observed.source.name();
     let observed_history = observed.loaded.history;
     let committed_indices = observed.loaded.committed_indices;
@@ -113,8 +141,11 @@ pub fn run_experiment_in(
         conflict_budget,
         ..PredictorConfig::default()
     });
-    let outcome = predictor.predict(&observed_history);
+    let predict_span = obs.span("predict");
+    let outcome = predictor.predict_obs(&observed_history, predict_span.obs());
+    predict_span.finish();
 
+    let validate_span = obs.span("validate");
     let (experiment_outcome, diverged, stats, gen_time, solve_time) = match outcome {
         PredictionOutcome::NoPrediction { .. } => (
             ExperimentOutcome::NoPrediction,
@@ -156,6 +187,8 @@ pub fn run_experiment_in(
             )
         }
     };
+    validate_span.label("outcome", crate::report::outcome_name(&experiment_outcome));
+    validate_span.finish();
 
     ExperimentResult {
         benchmark,

@@ -59,7 +59,8 @@ pub mod worker;
 
 pub use campaign::{Campaign, CampaignOptions};
 pub use harness::{
-    record_observed, run_experiment, run_experiment_in, ExperimentOutcome, ExperimentResult,
+    record_observed, run_experiment, run_experiment_in, run_experiment_observed, ExperimentOutcome,
+    ExperimentResult,
 };
 pub use merge::{embed, merge_outcomes, MergedOutcome};
 pub use report::{CampaignReport, CampaignSummary, CampaignTiming, ProvenanceRecord, TaskRecord};

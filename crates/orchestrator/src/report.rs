@@ -13,6 +13,7 @@
 //!   (`recorded` vs `corpus`) depends on what happens to be on disk, not on
 //!   the campaign specification.
 
+use isopredict_obs::MetricsSection;
 use serde::Serialize;
 
 /// How one experiment (or shard task) ended, as a report string.
@@ -179,6 +180,11 @@ pub struct CampaignReport {
     pub provenance: Vec<ProvenanceRecord>,
     /// Wall-clock measurements (run-dependent).
     pub timing: CampaignTiming,
+    /// Aggregated telemetry of the run (`None` unless the campaign executed
+    /// through [`crate::Campaign::run_observed`] with an enabled handle).
+    /// Run-dependent — durations vary — so it lives beside `timing`, outside
+    /// the deterministic half.
+    pub metrics: Option<MetricsSection>,
 }
 
 impl CampaignReport {
@@ -269,6 +275,7 @@ mod tests {
                 wall_us: 123,
                 ..CampaignTiming::default()
             },
+            metrics: None,
         };
         let first = report.deterministic_json();
         report.timing.wall_us = 456_789;
@@ -278,8 +285,17 @@ mod tests {
         report.provenance[0].trace_source = "corpus".into();
         report.timing.corpus_hits = 1;
         report.timing.record_saved_us = 10;
+        // Collected telemetry may not leak into the deterministic half either.
+        report.metrics = Some(MetricsSection {
+            spans: vec![],
+            counters: vec![],
+            gauges: vec![],
+            attributed_wall_fraction: 0.99,
+        });
         assert_eq!(first, report.deterministic_json());
         assert!(report.to_json().contains("wall_us"));
+        assert!(report.to_json().contains("attributed_wall_fraction"));
+        assert!(!first.contains("attributed_wall_fraction"));
         assert!(report.to_json().contains("\"trace_source\": \"corpus\""));
         assert!(!first.contains("wall_us"));
         assert!(!first.contains("trace_source"));

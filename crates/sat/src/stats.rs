@@ -24,6 +24,40 @@ pub struct SolverStats {
     pub literals: u64,
 }
 
+impl SolverStats {
+    /// The change since an `earlier` snapshot of the same solver: every
+    /// counter field-wise subtracted (saturating, so a reset solver or
+    /// mismatched snapshot cannot underflow).
+    ///
+    /// All counters are cumulative over a solver's lifetime — `solve` never
+    /// resets them — so per-call metrics are
+    /// `let before = solver.stats().snapshot(); …; solver.stats().diff(&before)`
+    /// instead of copying fields by hand.
+    #[must_use]
+    pub fn diff(&self, earlier: &SolverStats) -> SolverStats {
+        SolverStats {
+            decisions: self.decisions.saturating_sub(earlier.decisions),
+            propagations: self.propagations.saturating_sub(earlier.propagations),
+            conflicts: self.conflicts.saturating_sub(earlier.conflicts),
+            theory_conflicts: self
+                .theory_conflicts
+                .saturating_sub(earlier.theory_conflicts),
+            restarts: self.restarts.saturating_sub(earlier.restarts),
+            deleted_clauses: self.deleted_clauses.saturating_sub(earlier.deleted_clauses),
+            variables: self.variables.saturating_sub(earlier.variables),
+            clauses: self.clauses.saturating_sub(earlier.clauses),
+            literals: self.literals.saturating_sub(earlier.literals),
+        }
+    }
+
+    /// An owned copy of the counters as they stand now (sugar over `Copy`
+    /// that reads better at call sites pairing with [`SolverStats::diff`]).
+    #[must_use]
+    pub fn snapshot(&self) -> SolverStats {
+        *self
+    }
+}
+
 impl std::fmt::Display for SolverStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
@@ -69,5 +103,69 @@ mod tests {
         ] {
             assert!(s.contains(needle), "missing {needle} in {s}");
         }
+    }
+
+    #[test]
+    fn diff_subtracts_every_counter() {
+        let earlier = SolverStats {
+            decisions: 10,
+            propagations: 20,
+            conflicts: 30,
+            theory_conflicts: 4,
+            restarts: 5,
+            deleted_clauses: 6,
+            variables: 7,
+            clauses: 8,
+            literals: 90,
+        };
+        let later = SolverStats {
+            decisions: 15,
+            propagations: 29,
+            conflicts: 31,
+            theory_conflicts: 4,
+            restarts: 7,
+            deleted_clauses: 6,
+            variables: 7,
+            clauses: 10,
+            literals: 95,
+        };
+        let delta = later.diff(&earlier);
+        assert_eq!(delta.decisions, 5);
+        assert_eq!(delta.propagations, 9);
+        assert_eq!(delta.conflicts, 1);
+        assert_eq!(delta.theory_conflicts, 0);
+        assert_eq!(delta.restarts, 2);
+        assert_eq!(delta.variables, 0);
+        assert_eq!(delta.clauses, 2);
+        assert_eq!(delta.literals, 5);
+        // Mismatched snapshots saturate instead of underflowing.
+        assert_eq!(earlier.diff(&later).decisions, 0);
+        // A snapshot is an owned copy equal to the source.
+        assert_eq!(later.snapshot(), later);
+    }
+
+    #[test]
+    fn solve_accumulates_rather_than_resets() {
+        use crate::{Lit, SolveOutcome, Solver, Var};
+        let mut solver = Solver::new();
+        let a = solver.new_var();
+        let b = solver.new_var();
+        solver.add_clause(vec![Lit::positive(a), Lit::positive(b)]);
+        assert_eq!(solver.solve(), SolveOutcome::Sat);
+        let first = solver.stats().snapshot();
+        // Force disagreement so the second call does real work.
+        let model = solver.model().expect("sat model");
+        let flip = if model.value(Var::from_index(0)) {
+            Lit::negative(a)
+        } else {
+            Lit::positive(a)
+        };
+        solver.add_clause(vec![flip]);
+        assert_eq!(solver.solve(), SolveOutcome::Sat);
+        let second = solver.stats().snapshot();
+        let delta = second.diff(&first);
+        assert!(second.propagations >= first.propagations, "cumulative");
+        assert_eq!(delta.variables, 0);
+        assert_eq!(delta.clauses, 1);
     }
 }

@@ -54,6 +54,7 @@ mod term;
 mod tseitin;
 
 pub use fd::FdVar;
+pub use isopredict_sat::SolverStats;
 pub use order::OrderNode;
 pub use solver::{SmtResult, SmtSolver};
 pub use stats::EncodingStats;

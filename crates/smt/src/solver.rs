@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 
-use isopredict_sat::{Lit, SolveOutcome, Solver as SatSolver, SolverConfig};
+use isopredict_sat::{Lit, SolveOutcome, Solver as SatSolver, SolverConfig, SolverStats};
 
 use crate::fd::{FdVar, FdVarData};
 use crate::order::{topological_positions, OrderNode, OrderTheory};
@@ -380,6 +380,14 @@ impl SmtSolver {
         }
     }
 
+    /// Cumulative counters of the underlying SAT core. The counters are
+    /// never reset between [`SmtSolver::check`] calls, so per-call metrics
+    /// are `let before = smt.solver_stats(); …; smt.solver_stats().diff(&before)`.
+    #[must_use]
+    pub fn solver_stats(&self) -> SolverStats {
+        self.sat.stats().snapshot()
+    }
+
     fn lookup_interned(&self, term: &Term) -> Option<&TermId> {
         // TermPool interns by value; re-intern without mutation by looking up
         // through the public map on lit_of keys is not possible, so search the
@@ -430,6 +438,29 @@ mod tests {
         }
         seen.sort_unstable();
         assert_eq!(seen, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn solver_stats_accumulate_across_checks_and_diff_isolates_a_call() {
+        let mut smt = SmtSolver::new();
+        let x = smt.fd_var("x", 4);
+        assert_eq!(smt.check(), SmtResult::Sat);
+        let before = smt.solver_stats();
+        let value = smt.model_fd(x).expect("model assigns x");
+        let eq = smt.fd_eq(x, value);
+        let block = smt.not(eq);
+        smt.assert_term(block);
+        assert_eq!(smt.check(), SmtResult::Sat);
+        let after = smt.solver_stats();
+        let delta = after.diff(&before);
+        assert!(after.propagations >= before.propagations, "cumulative");
+        assert!(
+            delta.propagations > 0 || delta.decisions > 0 || delta.clauses > 0,
+            "second check did work: {delta}"
+        );
+        // No new problem variables were introduced between the snapshots
+        // beyond the blocking clause's terms.
+        assert!(delta.variables <= after.variables);
     }
 
     #[test]
