@@ -36,6 +36,7 @@ fn bench_campaign_workers(c: &mut Criterion) {
                         conflict_budget: Some(2_000_000),
                         shard_policy: ShardPolicy::default(),
                         corpus: None,
+                        ..CampaignOptions::default()
                     }))
                 });
             },

@@ -91,6 +91,11 @@ pub struct PredictorConfig {
     /// the observed execution is serializable, so an unserializable prediction
     /// must change something — but exposed for experimentation.
     pub require_change: bool,
+    /// Run the SAT core's static preprocessing pipeline (subsumption, failed
+    /// literals, bounded variable elimination) before solving. On by default;
+    /// disable to measure raw search or to rule preprocessing out when
+    /// debugging a prediction.
+    pub preprocess: bool,
 }
 
 impl Default for PredictorConfig {
@@ -101,6 +106,7 @@ impl Default for PredictorConfig {
             conflict_budget: Some(2_000_000),
             max_exact_candidates: 256,
             require_change: true,
+            preprocess: true,
         }
     }
 }
@@ -125,6 +131,7 @@ mod tests {
         let config = PredictorConfig::default();
         assert_eq!(config.strategy, Strategy::ApproxRelaxed);
         assert!(config.require_change);
+        assert!(config.preprocess);
         assert!(config.max_exact_candidates > 0);
     }
 }

@@ -138,10 +138,13 @@ impl Predictor {
 
     /// The approximate strategies: one solver call over the full encoding.
     fn predict_approx(&self, observed: &History, obs: &Obs) -> PredictionOutcome {
+        // detlint: allow(wall-clock) — timings feed the non-deterministic
+        // report half (Prediction::constraint_gen_time), never the verdicts.
         let gen_start = Instant::now();
         let encode_span = obs.span("encode");
         let encode_obs = encode_span.obs();
         let mut encoder = Encoder::new(observed, self.config.strategy.boundary());
+        encoder.smt.set_preprocessing(self.config.preprocess);
         {
             let _feasibility = encode_obs.span("feasibility");
             encoder.encode_feasibility();
@@ -163,8 +166,14 @@ impl Predictor {
         encoder.smt.set_conflict_budget(self.config.conflict_budget);
 
         let before = encoder.smt.solver_stats();
+        // detlint: allow(wall-clock) — solving_time is non-deterministic-half data.
         let solve_start = Instant::now();
         let solve_span = obs.span("solve");
+        if self.config.preprocess {
+            let pp_span = solve_span.obs().span("preprocess");
+            encoder.smt.preprocess();
+            pp_span.finish();
+        }
         let result = encoder.smt.check();
         solve_span.label("result", smt_result_label(result));
         solve_span.finish();
@@ -207,10 +216,13 @@ impl Predictor {
     /// whose prefix history admits no commit order. Each rejected candidate is
     /// blocked by a clause over its writer choices and boundaries.
     fn predict_exact(&self, observed: &History, obs: &Obs) -> PredictionOutcome {
+        // detlint: allow(wall-clock) — timings feed the non-deterministic
+        // report half (Prediction::constraint_gen_time), never the verdicts.
         let gen_start = Instant::now();
         let encode_span = obs.span("encode");
         let encode_obs = encode_span.obs();
         let mut encoder = Encoder::new(observed, self.config.strategy.boundary());
+        encoder.smt.set_preprocessing(self.config.preprocess);
         {
             let _feasibility = encode_obs.span("feasibility");
             encoder.encode_feasibility();
@@ -235,8 +247,16 @@ impl Predictor {
                 return PredictionOutcome::Unknown;
             }
             let before = encoder.smt.solver_stats();
+            // detlint: allow(wall-clock) — solving_time is non-deterministic-half data.
             let solve_start = Instant::now();
             let solve_span = obs.span("solve");
+            if self.config.preprocess {
+                // Re-preprocessing after each blocking clause is a no-op
+                // unless the clause actually changed the formula.
+                let pp_span = solve_span.obs().span("preprocess");
+                encoder.smt.preprocess();
+                pp_span.finish();
+            }
             let result = encoder.smt.check();
             solve_span.label("result", smt_result_label(result));
             solve_span.finish();
@@ -257,6 +277,7 @@ impl Predictor {
                     candidates_examined += 1;
                     obs.count("exact.candidates", 1);
                     let (predicted, boundaries, changed_reads) = extract(&encoder, observed);
+                    // detlint: allow(wall-clock) — non-deterministic-half timing.
                     let check_start = Instant::now();
                     let serializable = serializability::check(&predicted).is_serializable();
                     solving_time += check_start.elapsed();
@@ -331,6 +352,15 @@ fn count_solver_work(obs: &Obs, delta: &SolverStats) {
     obs.count("solver.theory_conflicts", delta.theory_conflicts);
     obs.count("solver.restarts", delta.restarts);
     obs.count("solver.deleted_clauses", delta.deleted_clauses);
+    obs.count("pp.rounds", delta.pp_rounds);
+    obs.count("pp.fixed", delta.pp_fixed);
+    obs.count("pp.equivalences", delta.pp_equivalences);
+    obs.count("pp.subsumed", delta.pp_subsumed);
+    obs.count("pp.strengthened", delta.pp_strengthened);
+    obs.count("pp.eliminated", delta.pp_eliminated);
+    obs.count("pp.resolvents", delta.pp_resolvents);
+    obs.count("pp.probes", delta.pp_probes);
+    obs.count("pp.restored", delta.pp_restored);
 }
 
 /// Convenience: `TxnId` list rendering for diagnostics.
@@ -519,9 +549,40 @@ mod tests {
         let metrics = MetricsSection::for_span(&snapshot, root_id);
         assert!(metrics.span("predict/encode/feasibility").is_some());
         assert_eq!(metrics.span("predict/solve").unwrap().count, 1);
+        assert_eq!(metrics.span("predict/solve/preprocess").unwrap().count, 1);
         assert!(metrics.counter("encode.variables") > 0);
         assert!(metrics.counter("encode.clauses") > 0);
         assert!(metrics.counter("solver.propagations") > 0);
+        assert!(metrics.counter("pp.rounds") > 0);
+    }
+
+    #[test]
+    fn preprocessing_does_not_change_outcomes_or_predictions() {
+        for observed in [chained_deposits(), deposit_withdraw_deposit()] {
+            for isolation in IsolationLevel::ALL {
+                let on = predictor(Strategy::ApproxRelaxed, isolation).predict(&observed);
+                let off = Predictor::new(PredictorConfig {
+                    strategy: Strategy::ApproxRelaxed,
+                    isolation,
+                    preprocess: false,
+                    ..PredictorConfig::default()
+                })
+                .predict(&observed);
+                assert_eq!(
+                    on.is_prediction(),
+                    off.is_prediction(),
+                    "{isolation}: preprocessing changed the verdict"
+                );
+                if let (Some(a), Some(b)) = (on.prediction(), off.prediction()) {
+                    // Both predictions must independently satisfy the spec;
+                    // models may differ, so only verdict-level facts compare.
+                    for p in [a, b] {
+                        assert!(isolation.is_conformant(&p.predicted));
+                        assert!(!serializability::check(&p.predicted).is_serializable());
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -108,6 +108,8 @@ fn record(corpus: &Corpus, args: &[String], obs: &Obs) -> Result<ExitCode, Corpu
                 );
                 continue;
             }
+            // detlint: allow(wall-clock) — record_us is provenance metadata,
+            // not part of the canonical (content-addressed) trace bytes.
             let start = Instant::now();
             let output = run(
                 benchmark,

@@ -1,0 +1,457 @@
+//! `detlint` — a determinism lint for the deterministic report half.
+//!
+//! The campaign report has a deterministic half (tasks + summary) that must
+//! be byte-identical across runs, worker counts, and machines. That property
+//! is enforced end-to-end by CI, but the failure mode is silent until a
+//! nondeterministic value flows into a report field. This binary is a small
+//! hand-rolled static-analysis pass over the modules that compute the
+//! deterministic half, flagging constructs whose results vary from run to
+//! run:
+//!
+//! * `wall-clock` — `SystemTime::now` / `Instant::now`
+//! * `parallelism` — `std::thread::available_parallelism`
+//! * `hash-iter` — iteration over a `HashMap`/`HashSet` (randomized order)
+//!
+//! False positives are suppressed with an allow comment on the same line or
+//! the line above, naming the rule:
+//!
+//! ```text
+//! // detlint: allow(hash-iter) — the collected edges are sorted below
+//! for (&key, &value) in &map {
+//! ```
+//!
+//! `#[cfg(test)]` modules are skipped. Usage: `detlint [ROOT]`, where `ROOT`
+//! is the workspace root (default `.`). Exit status is nonzero when any
+//! finding survives, which makes the binary a CI step.
+
+use std::collections::HashSet;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// The modules that compute the deterministic report half. Paths are
+/// relative to the workspace root; directories are scanned recursively.
+/// `obs` and the orchestrator's worker pool are deliberately absent: they
+/// own the *non*-deterministic half (timing, telemetry, parallelism).
+const DET_PATHS: &[&str] = &[
+    "crates/history/src",
+    "crates/store/src",
+    "crates/workloads/src",
+    "crates/sat/src",
+    "crates/smt/src",
+    "crates/core/src",
+    "crates/corpus/src",
+    "crates/orchestrator/src/merge.rs",
+    "crates/orchestrator/src/shard.rs",
+    "crates/orchestrator/src/report.rs",
+];
+
+/// Methods whose call on a hash collection observes its randomized order.
+const ITER_METHODS: &[&str] = &[
+    "iter()",
+    "iter_mut()",
+    "keys()",
+    "values()",
+    "values_mut()",
+    "into_iter()",
+    "into_keys()",
+    "into_values()",
+    "drain()",
+];
+
+/// One lint violation.
+#[derive(Debug, PartialEq, Eq)]
+struct Finding {
+    path: PathBuf,
+    /// 1-based line number.
+    line: usize,
+    rule: &'static str,
+    message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path.display(),
+            self.line,
+            self.rule,
+            self.message
+        )
+    }
+}
+
+fn main() -> ExitCode {
+    let root = std::env::args()
+        .nth(1)
+        .map_or_else(|| PathBuf::from("."), PathBuf::from);
+    let mut files: Vec<PathBuf> = Vec::new();
+    for rel in DET_PATHS {
+        let path = root.join(rel);
+        if !path.exists() {
+            eprintln!("detlint: missing path {}", path.display());
+            return ExitCode::FAILURE;
+        }
+        collect_rust_files(&path, &mut files);
+    }
+    files.sort();
+
+    let mut findings: Vec<Finding> = Vec::new();
+    for file in &files {
+        let text = match std::fs::read_to_string(file) {
+            Ok(text) => text,
+            Err(error) => {
+                eprintln!("detlint: cannot read {}: {error}", file.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let rel = file.strip_prefix(&root).unwrap_or(file);
+        findings.extend(scan(rel, &text));
+    }
+
+    for finding in &findings {
+        println!("{finding}");
+    }
+    if findings.is_empty() {
+        println!("detlint: {} files clean", files.len());
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "detlint: {} finding(s) in {} files scanned",
+            findings.len(),
+            files.len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+/// Recursively collects `.rs` files under `path` (or `path` itself).
+fn collect_rust_files(path: &Path, out: &mut Vec<PathBuf>) {
+    if path.is_file() {
+        if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path.to_path_buf());
+        }
+        return;
+    }
+    let Ok(entries) = std::fs::read_dir(path) else {
+        return;
+    };
+    let mut children: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    children.sort();
+    for child in children {
+        collect_rust_files(&child, out);
+    }
+}
+
+/// Scans one file's source text and returns its findings.
+fn scan(path: &Path, text: &str) -> Vec<Finding> {
+    let lines: Vec<&str> = text.lines().collect();
+    let split: Vec<(String, String)> = lines.iter().map(|l| split_code_comment(l)).collect();
+    let skipped = test_module_mask(&split);
+    let hash_names = collect_hash_names(&split);
+
+    let mut findings = Vec::new();
+    for (index, (code, _)) in split.iter().enumerate() {
+        if skipped[index] {
+            continue;
+        }
+        let mut report = |rule: &'static str, message: String| {
+            if !allowed(&split, index, rule) {
+                findings.push(Finding {
+                    path: path.to_path_buf(),
+                    line: index + 1,
+                    rule,
+                    message,
+                });
+            }
+        };
+        for needle in ["SystemTime::now", "Instant::now"] {
+            if code.contains(needle) {
+                report("wall-clock", format!("`{needle}` varies between runs"));
+            }
+        }
+        if code.contains("available_parallelism") {
+            report(
+                "parallelism",
+                "`available_parallelism` varies between machines".to_string(),
+            );
+        }
+        for name in hash_iteration_receivers(code) {
+            if hash_names.contains(&name) {
+                report(
+                    "hash-iter",
+                    format!("iteration over hash collection `{name}` has randomized order"),
+                );
+            }
+        }
+    }
+    findings
+}
+
+/// Whether the finding on `line` is suppressed by a `detlint: allow` comment
+/// on the same line or in the block of comment-only lines directly above it
+/// (a trailing comment on the previous statement does not leak downward).
+fn allowed(split: &[(String, String)], line: usize, rule: &str) -> bool {
+    let mut candidates = vec![&split[line].1];
+    let mut above = line;
+    while above > 0 && split[above - 1].0.trim().is_empty() && !split[above - 1].1.is_empty() {
+        above -= 1;
+        candidates.push(&split[above].1);
+    }
+    for comment in candidates {
+        let Some(at) = comment.find("detlint: allow") else {
+            continue;
+        };
+        let rest = &comment[at + "detlint: allow".len()..];
+        match rest.strip_prefix('(') {
+            // A bare `detlint: allow` suppresses every rule.
+            None => return true,
+            Some(args) => {
+                let list = args.split(')').next().unwrap_or("");
+                if list.split(',').any(|r| r.trim() == rule) {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Splits one source line into (code, comment), blanking out the contents of
+/// string and char literals in the code part so brace counting and substring
+/// matching cannot be fooled by literal text.
+fn split_code_comment(line: &str) -> (String, String) {
+    let mut code = String::with_capacity(line.len());
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                return (code, line[i..].to_string());
+            }
+            '"' => {
+                code.push('"');
+                i += 1;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        b'\\' => i += 2,
+                        b'"' => {
+                            code.push('"');
+                            i += 1;
+                            break;
+                        }
+                        _ => i += 1,
+                    }
+                }
+                continue;
+            }
+            '\'' => {
+                // A char literal ('x', '\n', '\''); lifetimes ('a) have no
+                // closing quote within a few bytes and fall through.
+                let close = if i + 2 < bytes.len() && bytes[i + 1] == b'\\' {
+                    i + 3
+                } else {
+                    i + 2
+                };
+                if close < bytes.len() && bytes[close] == b'\'' {
+                    code.push('\'');
+                    code.push('\'');
+                    i = close + 1;
+                    continue;
+                }
+                code.push(c);
+            }
+            _ => code.push(c),
+        }
+        i += 1;
+    }
+    (code, String::new())
+}
+
+/// Marks the lines inside `#[cfg(test)]` items (tests may use whatever they
+/// like; the lint covers production code only).
+fn test_module_mask(split: &[(String, String)]) -> Vec<bool> {
+    let mut mask = vec![false; split.len()];
+    let mut index = 0;
+    while index < split.len() {
+        if !split[index].0.contains("#[cfg(test)]") {
+            index += 1;
+            continue;
+        }
+        // Skip to the end of the following item: either a `;` (out-of-line
+        // `mod tests;`) or the matching close of its first `{`.
+        let mut depth = 0i64;
+        let mut entered = false;
+        while index < split.len() {
+            mask[index] = true;
+            let code = &split[index].0;
+            if !entered && code.contains(';') && !code.contains('{') {
+                break;
+            }
+            depth += code.matches('{').count() as i64;
+            depth -= code.matches('}').count() as i64;
+            if depth > 0 {
+                entered = true;
+            }
+            if entered && depth <= 0 {
+                break;
+            }
+            index += 1;
+        }
+        index += 1;
+    }
+    mask
+}
+
+/// Collects the identifiers in this file whose declared type or initializer
+/// is a `HashMap`/`HashSet`: struct fields and annotated bindings
+/// (`name: HashMap<…>`) and inferred bindings (`let name = HashMap::new()`).
+fn collect_hash_names(split: &[(String, String)]) -> HashSet<String> {
+    let mut names = HashSet::new();
+    for (code, _) in split {
+        for ty in ["HashMap", "HashSet"] {
+            let mut search = 0;
+            while let Some(at) = code[search..].find(ty) {
+                let at = search + at;
+                search = at + ty.len();
+                let after = &code[at + ty.len()..];
+                let before = code[..at].trim_end();
+                if after.starts_with('<') || after.starts_with("::") {
+                    if let Some(stripped) = before.strip_suffix(':') {
+                        // `name: HashMap<…>` (field, param, or annotation).
+                        if let Some(name) = trailing_identifier(stripped) {
+                            names.insert(name);
+                        }
+                    } else if let Some(stripped) = before.strip_suffix('=') {
+                        // `let [mut] name = HashMap::new()` and re-bindings.
+                        if let Some(name) = trailing_identifier(stripped) {
+                            names.insert(name);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    names
+}
+
+/// The identifier ending `text`, if any.
+fn trailing_identifier(text: &str) -> Option<String> {
+    let trimmed = text.trim_end();
+    let tail: String = trimmed
+        .chars()
+        .rev()
+        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+        .collect::<String>()
+        .chars()
+        .rev()
+        .collect();
+    if tail.is_empty() || tail.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        None
+    } else {
+        Some(tail)
+    }
+}
+
+/// The receivers of hash-order-observing expressions on this line: both
+/// `name.iter()`-style calls and `for … in &name` loops. Returned names are
+/// the last path segment (`self.edges` → `edges`).
+fn hash_iteration_receivers(code: &str) -> Vec<String> {
+    let mut receivers = Vec::new();
+    for method in ITER_METHODS {
+        let needle = format!(".{method}");
+        let mut search = 0;
+        while let Some(at) = code[search..].find(&needle) {
+            let at = search + at;
+            search = at + needle.len();
+            if let Some(name) = trailing_identifier(&code[..at]) {
+                receivers.push(name);
+            }
+        }
+    }
+    if let Some(for_at) = code.find("for ") {
+        if let Some(in_at) = code[for_at..].find(" in ") {
+            let expr = &code[for_at + in_at + 4..];
+            let expr = expr.split(['{', ';']).next().unwrap_or("").trim();
+            let expr = expr
+                .trim_start_matches('&')
+                .trim_start_matches("mut ")
+                .trim();
+            // A plain path (`name`, `self.name`) iterates the collection
+            // itself; method-call expressions were handled above.
+            if !expr.is_empty()
+                && expr
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+            {
+                if let Some(name) = expr.rsplit('.').next() {
+                    if !name.is_empty() && !name.chars().next().unwrap().is_ascii_digit() {
+                        receivers.push(name.to_string());
+                    }
+                }
+            }
+        }
+    }
+    receivers
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules(text: &str) -> Vec<(usize, &'static str)> {
+        scan(Path::new("test.rs"), text)
+            .into_iter()
+            .map(|f| (f.line, f.rule))
+            .collect()
+    }
+
+    #[test]
+    fn flags_wall_clock_and_parallelism() {
+        let text = "fn f() {\n    let t = Instant::now();\n    let n = std::thread::available_parallelism();\n}\n";
+        assert_eq!(rules(text), vec![(2, "wall-clock"), (3, "parallelism")]);
+    }
+
+    #[test]
+    fn flags_hash_map_iteration_by_declared_type() {
+        let text = "struct S { edges: HashMap<u32, u32> }\nfn f(s: &S) {\n    for (a, b) in &s.edges {}\n    let k: Vec<_> = s.edges.keys().collect();\n}\n";
+        assert_eq!(rules(text), vec![(3, "hash-iter"), (4, "hash-iter")]);
+    }
+
+    #[test]
+    fn flags_inferred_bindings_but_not_vectors() {
+        let text = "fn f() {\n    let mut seen = HashSet::new();\n    let items = vec![1];\n    for i in items.iter() {}\n    for s in seen.iter() {}\n}\n";
+        assert_eq!(rules(text), vec![(5, "hash-iter")]);
+    }
+
+    #[test]
+    fn allow_comments_suppress_by_rule() {
+        let text = "fn f(m: HashMap<u32, u32>) {\n    // detlint: allow(hash-iter) — sorted below\n    for k in m.keys() {}\n    let t = Instant::now(); // detlint: allow(wall-clock)\n    let u = Instant::now(); // detlint: allow(hash-iter)\n}\n";
+        assert_eq!(rules(text), vec![(5, "wall-clock")]);
+    }
+
+    #[test]
+    fn bare_allow_suppresses_everything() {
+        let text = "fn f() {\n    // detlint: allow\n    let t = SystemTime::now();\n}\n";
+        assert_eq!(rules(text), vec![]);
+    }
+
+    #[test]
+    fn test_modules_are_skipped() {
+        let text = "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn g() { let t = Instant::now(); }\n}\nfn h() { let t = Instant::now(); }\n";
+        assert_eq!(rules(text), vec![(6, "wall-clock")]);
+    }
+
+    #[test]
+    fn string_literals_and_comments_do_not_trip_rules() {
+        let text = "fn f() {\n    let s = \"Instant::now\";\n    // Instant::now in a comment\n    let c = '{';\n}\n";
+        assert_eq!(rules(text), vec![]);
+    }
+
+    #[test]
+    fn drain_and_into_iter_count_as_iteration() {
+        let text = "fn f(mut m: HashMap<u32, u32>) {\n    for x in m.drain() {}\n    let v: Vec<_> = m.into_iter().collect();\n}\n";
+        assert_eq!(rules(text), vec![(2, "hash-iter"), (3, "hash-iter")]);
+    }
+}

@@ -103,6 +103,7 @@ fn main() {
             conflict_budget: Some(budget),
             shard_policy: ShardPolicy::default(),
             corpus: None,
+            ..CampaignOptions::default()
         });
         let fingerprint = report.deterministic_json();
         match &reference {

@@ -1,0 +1,246 @@
+//! A/B benchmark of the SAT core's static preprocessing pipeline: identical
+//! campaigns with preprocessing off versus on, interleaved, taking the
+//! minimum wall time of each mode and comparing the solver-work counters
+//! (`solver.conflicts` / `solver.propagations` / `solver.decisions`) that an
+//! instrumented run streams.
+//!
+//! Two campaign cells are measured: the Overdraft × snapshot-isolation
+//! write-skew matrix (whose `no_prediction` rows are outright UNSAT proofs —
+//! the case the pipeline targets) and a Voter × causal slice. Besides the
+//! numbers, the run re-checks the pipeline's contract: the deterministic
+//! report halves must be byte-identical with preprocessing on and off.
+//!
+//! Usage:
+//! `cargo run --release -p isopredict-orchestrator --bin bench_preprocess -- \
+//!     [--seeds N] [--txns N] [--iterations N] [--workers N] [--out PATH]`
+//!
+//! Writes a JSON summary (default `BENCH_preprocess.json`).
+
+use isopredict::{IsolationLevel, Strategy};
+use isopredict_obs::Registry;
+use isopredict_orchestrator::{Campaign, CampaignOptions};
+use isopredict_workloads::Benchmark;
+use serde::Serialize;
+
+/// Solver-work counters and wall time for one preprocessing mode.
+#[derive(Serialize)]
+struct Mode {
+    /// Minimum campaign wall time over the interleaved iterations, in
+    /// microseconds.
+    wall_us: u64,
+    /// Total CDCL conflicts across every solve in the campaign.
+    conflicts: u64,
+    /// Total unit propagations.
+    propagations: u64,
+    /// Total branching decisions.
+    decisions: u64,
+    /// Variables eliminated by bounded variable elimination (0 when off).
+    pp_eliminated: u64,
+    /// Clauses removed by subsumption (0 when off).
+    pp_subsumed: u64,
+    /// Literals fixed at the top level by UP, probing and pure literals (0
+    /// when off).
+    pp_fixed: u64,
+}
+
+/// One measured campaign cell.
+#[derive(Serialize)]
+struct Cell {
+    name: String,
+    matrix: String,
+    experiments: usize,
+    /// Outcome counts, same vocabulary as the campaign report summary.
+    validated: usize,
+    no_prediction: usize,
+    unknown: usize,
+    off: Mode,
+    on: Mode,
+    /// `(off.conflicts - on.conflicts) / off.conflicts`, in percent.
+    conflict_reduction_pct: f64,
+    /// `(off.wall_us - on.wall_us) / off.wall_us`, in percent (negative when
+    /// preprocessing costs more than it saves on this cell).
+    wall_reduction_pct: f64,
+    /// Whether the deterministic report halves were byte-identical with
+    /// preprocessing on and off.
+    deterministic_identical: bool,
+}
+
+/// The `BENCH_preprocess.json` document.
+#[derive(Serialize)]
+struct Bench {
+    workers: usize,
+    iterations: usize,
+    cells: Vec<Cell>,
+    notes: String,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let seeds: u64 = arg(&args, "--seeds")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2);
+    let txns: usize = arg(&args, "--txns")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2);
+    let iterations: usize = arg(&args, "--iterations")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2);
+    let workers: usize = arg(&args, "--workers")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2);
+    let out = arg(&args, "--out").unwrap_or_else(|| "BENCH_preprocess.json".to_string());
+
+    let cells = vec![
+        (
+            "overdraft-si-write-skew",
+            Campaign::new()
+                .benchmarks([Benchmark::Overdraft])
+                .seeds(0..seeds)
+                .strategies([Strategy::ApproxRelaxed])
+                .isolations([IsolationLevel::Snapshot])
+                .txns_per_session(txns),
+            format!("overdraft × {seeds} seeds × si (small, {txns} txns/session)"),
+        ),
+        (
+            "voter-causal",
+            Campaign::new()
+                .benchmarks([Benchmark::Voter])
+                .seeds(0..seeds)
+                .strategies([Strategy::ApproxRelaxed])
+                .isolations([IsolationLevel::Causal])
+                .txns_per_session(txns),
+            format!("voter × {seeds} seeds × causal (small, {txns} txns/session)"),
+        ),
+    ];
+
+    let mut measured = Vec::new();
+    for (name, campaign, matrix) in cells {
+        eprintln!(
+            "bench_preprocess: {name}, {} experiments, {iterations} interleaved off/on iterations",
+            campaign.experiments()
+        );
+        measured.push(measure(name, &campaign, matrix, workers, iterations));
+    }
+
+    let bench = Bench {
+        workers,
+        iterations,
+        cells: measured,
+        notes: "Minimum wall time over interleaved off/on iterations. Counters are totals \
+                streamed by an instrumented run and are deterministic per mode. The \
+                overdraft/si cell's no_prediction rows are outright UNSAT proofs — the \
+                target of the preprocessing pipeline; conflict_reduction_pct is the \
+                headline number. Deterministic report halves are asserted byte-identical \
+                with preprocessing on and off."
+            .to_string(),
+    };
+    std::fs::write(
+        &out,
+        serde_json::to_string_pretty(&bench).expect("serialize"),
+    )
+    .expect("write bench report");
+
+    for cell in &bench.cells {
+        eprintln!(
+            "bench_preprocess: {}: conflicts {} -> {} ({:+.1}%), wall {:.3}s -> {:.3}s ({:+.1}%), \
+             outcomes {}v/{}n/{}u, det-identical={}",
+            cell.name,
+            cell.off.conflicts,
+            cell.on.conflicts,
+            -cell.conflict_reduction_pct,
+            cell.off.wall_us as f64 / 1e6,
+            cell.on.wall_us as f64 / 1e6,
+            -cell.wall_reduction_pct,
+            cell.validated,
+            cell.no_prediction,
+            cell.unknown,
+            cell.deterministic_identical,
+        );
+        assert!(
+            cell.deterministic_identical,
+            "{}: deterministic report half changed when preprocessing was toggled",
+            cell.name
+        );
+    }
+    eprintln!("bench_preprocess: wrote {out}");
+}
+
+fn measure(
+    name: &str,
+    campaign: &Campaign,
+    matrix: String,
+    workers: usize,
+    iterations: usize,
+) -> Cell {
+    let options = |preprocess: bool| CampaignOptions {
+        workers,
+        preprocess,
+        ..CampaignOptions::default()
+    };
+
+    // One instrumented run per mode collects the (deterministic) solver-work
+    // counters and the report used for the outcome columns and the
+    // byte-identity check.
+    let mut modes = Vec::new();
+    let mut det_halves = Vec::new();
+    let mut outcome_counts = (0, 0, 0);
+    for preprocess in [false, true] {
+        let registry = Registry::new();
+        let report = campaign.run_observed(&options(preprocess), &registry.obs());
+        let snapshot = registry.snapshot();
+        let counter = |name: &str| snapshot.counter(name);
+        modes.push(Mode {
+            wall_us: u64::MAX, // filled in from the timing iterations below
+            conflicts: counter("solver.conflicts"),
+            propagations: counter("solver.propagations"),
+            decisions: counter("solver.decisions"),
+            pp_eliminated: counter("pp.eliminated"),
+            pp_subsumed: counter("pp.subsumed"),
+            pp_fixed: counter("pp.fixed"),
+        });
+        det_halves.push(report.deterministic_json());
+        outcome_counts = (
+            report.summary.validated,
+            report.summary.no_prediction,
+            report.summary.unknown,
+        );
+    }
+
+    // Interleaved, uninstrumented timing iterations; keep the minimum.
+    for _ in 0..iterations {
+        for (mode, preprocess) in modes.iter_mut().zip([false, true]) {
+            let report = campaign.run(&options(preprocess));
+            mode.wall_us = mode.wall_us.min(report.timing.wall_us);
+        }
+    }
+
+    let off = &modes[0];
+    let on = &modes[1];
+    let reduction = |off: u64, on: u64| {
+        if off == 0 {
+            0.0
+        } else {
+            (off as f64 - on as f64) / off as f64 * 100.0
+        }
+    };
+    Cell {
+        name: name.to_string(),
+        matrix,
+        experiments: campaign.experiments(),
+        validated: outcome_counts.0,
+        no_prediction: outcome_counts.1,
+        unknown: outcome_counts.2,
+        conflict_reduction_pct: reduction(off.conflicts, on.conflicts),
+        wall_reduction_pct: reduction(off.wall_us, on.wall_us),
+        deterministic_identical: det_halves[0] == det_halves[1],
+        off: modes.remove(0),
+        on: modes.remove(0),
+    }
+}
+
+fn arg(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}

@@ -7,6 +7,7 @@
 //!     [--strategies exact-strict,approx-strict,approx-relaxed] \
 //!     [--isolation causal,rc,si] [--size small|large] [--budget N] \
 //!     [--workers N] [--shard auto|never|always] [--corpus DIR] \
+//!     [--no-preprocess] \
 //!     [--out PATH] [--det-out PATH] [--metrics PATH | --metrics-stdout]`
 //!
 //! With `--corpus DIR`, observed cells already in the corpus are loaded
@@ -66,6 +67,11 @@ fn main() {
     }
     if let Some(dir) = arg(&args, "--corpus") {
         options.corpus = Some(dir.into());
+    }
+    // A/B switch for the SAT core's static preprocessing pipeline; the
+    // deterministic report half must not depend on it.
+    if args.iter().any(|a| a == "--no-preprocess") {
+        options.preprocess = false;
     }
 
     eprintln!(

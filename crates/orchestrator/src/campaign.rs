@@ -62,6 +62,10 @@ pub struct CampaignOptions {
     /// persisted for the next run. `None` records every cell in memory, as
     /// before.
     pub corpus: Option<PathBuf>,
+    /// Run the SAT core's static preprocessing pipeline before each solver
+    /// call (see [`PredictorConfig::preprocess`]). On by default; the
+    /// campaign CLI's `--no-preprocess` turns it off for A/B comparisons.
+    pub preprocess: bool,
 }
 
 impl Default for CampaignOptions {
@@ -71,6 +75,7 @@ impl Default for CampaignOptions {
             conflict_budget: Some(2_000_000),
             shard_policy: ShardPolicy::default(),
             corpus: None,
+            preprocess: true,
         }
     }
 }
@@ -303,6 +308,7 @@ impl Campaign {
                 strategy: task.strategy,
                 isolation: task.isolation,
                 conflict_budget: task.conflict_budget,
+                preprocess: options.preprocess,
                 ..PredictorConfig::default()
             });
             let outcome = match unit {

@@ -54,8 +54,16 @@ pub struct TaskRecord {
     /// "no_prediction", "unknown").
     pub outcome: String,
     /// Whether the validating execution diverged from the prediction.
+    ///
+    /// Witness-level: describes the particular model the solver produced,
+    /// not the verdict, so it is excluded from the deterministic half (see
+    /// [`CampaignReport::deterministic_json`]).
     pub diverged: bool,
     /// Number of reads whose writer the prediction changed.
+    ///
+    /// Witness-level, like `diverged`: solver configuration (e.g.
+    /// preprocessing on/off) may produce a different — equally valid —
+    /// model, so this is excluded from the deterministic half.
     pub changed_reads: usize,
     /// Literal count of the generated constraints (summed over predicting
     /// shards; 0 when no shard predicted, mirroring the harness).
@@ -195,14 +203,36 @@ impl CampaignReport {
     }
 
     /// Pretty JSON of the deterministic half only (tasks + summary):
-    /// byte-identical across runs and worker counts for a fixed campaign.
+    /// byte-identical across runs, worker counts, and solver configurations
+    /// that cannot change verdicts (e.g. preprocessing on/off) for a fixed
+    /// campaign.
+    ///
+    /// Witness-level task fields (`diverged`, `changed_reads`) are excluded:
+    /// they describe the particular model the solver happened to produce,
+    /// which is deterministic for a fixed configuration but legitimately
+    /// differs between equisatisfiable solver configurations.
     #[must_use]
     pub fn deterministic_json(&self) -> String {
+        const WITNESS_FIELDS: &[&str] = &["diverged", "changed_reads"];
         struct Deterministic<'a>(&'a CampaignReport);
         impl Serialize for Deterministic<'_> {
             fn to_content(&self) -> serde::Content {
+                let tasks = self
+                    .0
+                    .tasks
+                    .iter()
+                    .map(|task| match task.to_content() {
+                        serde::Content::Map(entries) => serde::Content::Map(
+                            entries
+                                .into_iter()
+                                .filter(|(key, _)| !WITNESS_FIELDS.contains(&key.as_str()))
+                                .collect(),
+                        ),
+                        other => other,
+                    })
+                    .collect();
                 serde::Content::Map(vec![
-                    ("tasks".to_string(), self.0.tasks.to_content()),
+                    ("tasks".to_string(), serde::Content::Seq(tasks)),
                     ("summary".to_string(), self.0.summary.to_content()),
                 ])
             }
@@ -300,5 +330,31 @@ mod tests {
         assert!(!first.contains("wall_us"));
         assert!(!first.contains("trace_source"));
         assert!(first.contains("\"benchmark\": \"Smallbank\""));
+    }
+
+    #[test]
+    fn deterministic_json_excludes_witness_level_task_fields() {
+        let tasks = vec![record("validated", false, 1)];
+        let summary = CampaignSummary::from_tasks(&tasks);
+        let mut report = CampaignReport {
+            tasks,
+            summary,
+            provenance: vec![],
+            timing: CampaignTiming::default(),
+            metrics: None,
+        };
+        let first = report.deterministic_json();
+        // A different (equally valid) solver model changes only the witness.
+        report.tasks[0].diverged = true;
+        report.tasks[0].changed_reads = 7;
+        assert_eq!(first, report.deterministic_json());
+        assert!(!first.contains("changed_reads"));
+        assert!(!first.contains("diverged"));
+        // Verdict-level fields stay.
+        assert!(first.contains("\"outcome\": \"validated\""));
+        assert!(first.contains("\"literals\": 100"));
+        // The full report keeps the witness fields.
+        assert!(report.to_json().contains("\"changed_reads\": 7"));
+        assert!(report.to_json().contains("\"diverged\": true"));
     }
 }

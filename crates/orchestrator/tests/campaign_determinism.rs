@@ -27,6 +27,7 @@ fn campaign_reports_are_byte_identical_across_1_2_and_8_workers() {
                     conflict_budget: Some(2_000_000),
                     shard_policy: ShardPolicy::default(),
                     corpus: None,
+                    ..CampaignOptions::default()
                 })
                 .deterministic_json()
         })
@@ -45,6 +46,31 @@ fn campaign_reports_are_byte_identical_across_1_2_and_8_workers() {
 }
 
 #[test]
+fn deterministic_half_is_byte_identical_with_and_without_preprocessing() {
+    // Preprocessing is equisatisfiable, so it may change which model the
+    // solver finds but never a verdict: the deterministic report half
+    // (verdict-level fields only) must not move when it is toggled.
+    let campaign = campaign();
+    let halves: Vec<String> = [true, false]
+        .into_iter()
+        .map(|preprocess| {
+            campaign
+                .run(&CampaignOptions {
+                    workers: 2,
+                    preprocess,
+                    ..CampaignOptions::default()
+                })
+                .deterministic_json()
+        })
+        .collect();
+    assert_eq!(
+        halves[0], halves[1],
+        "preprocessing changed the deterministic report half"
+    );
+    assert!(halves[0].contains("\"outcome\""));
+}
+
+#[test]
 fn shard_policies_agree_on_experiment_verdicts() {
     // Sharding must never change an experiment's outcome, only how the work
     // is decomposed: compare never-shard vs always-shard campaigns
@@ -55,12 +81,14 @@ fn shard_policies_agree_on_experiment_verdicts() {
         conflict_budget: Some(2_000_000),
         shard_policy: ShardPolicy::Never,
         corpus: None,
+        ..CampaignOptions::default()
     });
     let sharded = campaign.run(&CampaignOptions {
         workers: 2,
         conflict_budget: Some(2_000_000),
         shard_policy: ShardPolicy::Always,
         corpus: None,
+        ..CampaignOptions::default()
     });
     assert_eq!(whole.tasks.len(), sharded.tasks.len());
     for (a, b) in whole.tasks.iter().zip(&sharded.tasks) {

@@ -30,6 +30,7 @@ fn options(workers: usize) -> CampaignOptions {
         conflict_budget: Some(2_000_000),
         shard_policy: ShardPolicy::default(),
         corpus: None,
+        ..CampaignOptions::default()
     }
 }
 

@@ -1,0 +1,127 @@
+//! Static analysis of a DIMACS CNF instance.
+//!
+//! Usage:
+//! `cargo run --release -p isopredict-sat --bin sat_analyze -- [--check] FILE...`
+//!
+//! For each file, prints the structural profile of the formula (size
+//! histogram, pure literals, binary-implication equivalence classes), runs
+//! the preprocessing pipeline, and prints the simplification delta and the
+//! profile of the simplified formula.
+//!
+//! With `--check`, runs a self-test instead of the report: the instance is
+//! solved twice, with preprocessing on and off, the two verdicts must agree,
+//! and any model must satisfy every original clause. Exit status is nonzero
+//! on a parse error or a failed check, which makes the flag suitable for CI
+//! over golden fixtures.
+
+use std::process::ExitCode;
+
+use isopredict_sat::{parse_dimacs, Lit, SolveOutcome, Solver, SolverConfig};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check = args.iter().any(|a| a == "--check");
+    let files: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    if files.is_empty() {
+        eprintln!("usage: sat_analyze [--check] FILE...");
+        return ExitCode::FAILURE;
+    }
+
+    let mut failed = false;
+    for path in files {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(error) => {
+                eprintln!("{path}: {error}");
+                failed = true;
+                continue;
+            }
+        };
+        let (num_vars, clauses) = match parse_dimacs(&text) {
+            Ok(parsed) => parsed,
+            Err(error) => {
+                eprintln!("{path}: {error}");
+                failed = true;
+                continue;
+            }
+        };
+        if check {
+            failed |= !run_check(path, num_vars, &clauses);
+        } else {
+            report(path, num_vars, &clauses);
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Builds a solver over the parsed instance, with or without preprocessing.
+fn load(num_vars: usize, clauses: &[Vec<Lit>], preprocess: bool) -> Solver {
+    let mut config = SolverConfig::default();
+    config.preprocess.enabled = preprocess;
+    let mut solver = Solver::with_config(config);
+    for _ in 0..num_vars {
+        solver.new_var();
+    }
+    for clause in clauses {
+        solver.add_clause(clause.iter().copied());
+    }
+    solver
+}
+
+/// The human-readable report: profile, simplification delta, profile again.
+fn report(path: &str, num_vars: usize, clauses: &[Vec<Lit>]) {
+    let mut solver = load(num_vars, clauses, true);
+    println!("{path}");
+    println!("  before:\n    {}", indent(&solver.profile()));
+    let summary = solver.preprocess();
+    println!("  preprocess: {summary}");
+    println!("  after:\n    {}", indent(&solver.profile()));
+}
+
+/// Re-indents a multi-line `Display` value for nesting under a heading.
+fn indent(value: &impl std::fmt::Display) -> String {
+    value.to_string().trim_end().replace('\n', "\n    ")
+}
+
+/// The `--check` mode: preprocessing must preserve the verdict and produce
+/// models that satisfy the original clauses.
+fn run_check(path: &str, num_vars: usize, clauses: &[Vec<Lit>]) -> bool {
+    let mut plain = load(num_vars, clauses, false);
+    let mut preprocessed = load(num_vars, clauses, true);
+    let plain_outcome = plain.solve();
+    let pp_outcome = preprocessed.solve();
+    if plain_outcome != pp_outcome {
+        eprintln!(
+            "{path}: FAIL: verdict changed by preprocessing ({plain_outcome:?} vs {pp_outcome:?})"
+        );
+        return false;
+    }
+    for (label, solver) in [("plain", &plain), ("preprocessed", &preprocessed)] {
+        if let Some(model) = solver.model() {
+            for (index, clause) in clauses.iter().enumerate() {
+                let satisfied = clause
+                    .iter()
+                    .any(|&lit| model.value(lit.var()) != lit.is_negative());
+                if !satisfied {
+                    eprintln!("{path}: FAIL: {label} model violates original clause {index}");
+                    return false;
+                }
+            }
+        }
+    }
+    let verdict = match pp_outcome {
+        SolveOutcome::Sat => "sat",
+        SolveOutcome::Unsat => "unsat",
+        SolveOutcome::Unknown => "unknown",
+    };
+    println!(
+        "{path}: ok ({verdict}, {} vars, {} clauses, pp agrees, models valid)",
+        num_vars,
+        clauses.len()
+    );
+    true
+}

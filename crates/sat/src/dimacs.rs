@@ -32,25 +32,45 @@ impl std::error::Error for DimacsError {}
 
 /// Parses DIMACS CNF text into `(num_vars, clauses)`.
 ///
+/// The grammar accepted is the one real instances use rather than the
+/// strictest reading of the spec: comment lines (`c …`) may appear anywhere
+/// (including between the lines of a clause that spans several), a clause may
+/// span multiple lines or share a line with other clauses (`0` is the only
+/// clause terminator), blank lines are ignored, and the SATLIB `%` footer
+/// terminates the instance.
+///
 /// # Errors
 ///
-/// Returns a [`DimacsError`] if the header is missing or malformed, a literal
-/// is not an integer, or a literal references a variable beyond the declared
-/// count.
+/// Returns a [`DimacsError`] (with a 1-based line number) if the header is
+/// missing, duplicated, or malformed; a literal is not an integer or
+/// references a variable beyond the declared count; the final clause is not
+/// `0`-terminated; or the number of clauses does not match the header.
 pub fn parse_dimacs(text: &str) -> Result<(usize, Vec<Vec<Lit>>), DimacsError> {
-    let mut num_vars: Option<usize> = None;
+    let mut header: Option<(usize, usize)> = None;
+    let mut header_line = 0usize;
     let mut clauses: Vec<Vec<Lit>> = Vec::new();
     let mut current: Vec<Lit> = Vec::new();
+    let mut current_line = 0usize;
 
-    for (line_no, line) in text.lines().enumerate() {
+    for (line_no, raw) in text.lines().enumerate() {
         let line_no = line_no + 1;
-        let line = line.trim();
+        let line = raw.trim();
         if line.is_empty() || line.starts_with('c') {
             continue;
         }
-        if line.starts_with('p') {
-            let mut parts = line.split_whitespace();
+        if line.starts_with('%') {
+            // SATLIB benchmark footer ("%" then a lone "0"): end of instance.
+            break;
+        }
+        let mut parts = line.split_whitespace();
+        if parts.clone().next() == Some("p") {
             let _p = parts.next();
+            if header.is_some() {
+                return Err(DimacsError {
+                    message: format!("duplicate `p cnf` header (first on line {header_line})"),
+                    line: line_no,
+                });
+            }
             if parts.next() != Some("cnf") {
                 return Err(DimacsError {
                     message: "expected `p cnf <vars> <clauses>`".to_string(),
@@ -61,17 +81,31 @@ pub fn parse_dimacs(text: &str) -> Result<(usize, Vec<Vec<Lit>>), DimacsError> {
                 .next()
                 .and_then(|v| v.parse::<usize>().ok())
                 .ok_or_else(|| DimacsError {
-                    message: "missing variable count".to_string(),
+                    message: "missing or invalid variable count".to_string(),
                     line: line_no,
                 })?;
-            num_vars = Some(vars);
+            let declared_clauses = parts
+                .next()
+                .and_then(|v| v.parse::<usize>().ok())
+                .ok_or_else(|| DimacsError {
+                    message: "missing or invalid clause count".to_string(),
+                    line: line_no,
+                })?;
+            if let Some(extra) = parts.next() {
+                return Err(DimacsError {
+                    message: format!("unexpected token `{extra}` after clause count"),
+                    line: line_no,
+                });
+            }
+            header = Some((vars, declared_clauses));
+            header_line = line_no;
             continue;
         }
-        let declared = num_vars.ok_or_else(|| DimacsError {
-            message: "clause before header".to_string(),
+        let (declared_vars, _) = header.ok_or_else(|| DimacsError {
+            message: "clause before `p cnf` header".to_string(),
             line: line_no,
         })?;
-        for token in line.split_whitespace() {
+        for token in parts {
             let value: i64 = token.parse().map_err(|_| DimacsError {
                 message: format!("invalid literal `{token}`"),
                 line: line_no,
@@ -80,11 +114,14 @@ pub fn parse_dimacs(text: &str) -> Result<(usize, Vec<Vec<Lit>>), DimacsError> {
                 clauses.push(std::mem::take(&mut current));
             } else {
                 let var_index = value.unsigned_abs() as usize - 1;
-                if var_index >= declared {
+                if var_index >= declared_vars {
                     return Err(DimacsError {
                         message: format!("literal {value} exceeds declared variable count"),
                         line: line_no,
                     });
+                }
+                if current.is_empty() {
+                    current_line = line_no;
                 }
                 current.push(Lit::new(Var::from_index(var_index as u32), value < 0));
             }
@@ -92,9 +129,26 @@ pub fn parse_dimacs(text: &str) -> Result<(usize, Vec<Vec<Lit>>), DimacsError> {
     }
 
     if !current.is_empty() {
-        clauses.push(current);
+        return Err(DimacsError {
+            message: "unterminated clause (missing trailing 0)".to_string(),
+            line: current_line,
+        });
     }
-    Ok((num_vars.unwrap_or(0), clauses))
+    match header {
+        None => Ok((0, clauses)),
+        Some((vars, declared_clauses)) => {
+            if clauses.len() != declared_clauses {
+                return Err(DimacsError {
+                    message: format!(
+                        "header declares {declared_clauses} clauses but {} were found",
+                        clauses.len()
+                    ),
+                    line: header_line,
+                });
+            }
+            Ok((vars, clauses))
+        }
+    }
 }
 
 /// Serializes a problem to DIMACS CNF text.
@@ -152,6 +206,70 @@ mod tests {
         let model = solver.model().unwrap();
         assert!(model.value(Var::from_index(0)));
         assert!(model.value(Var::from_index(1)));
+    }
+
+    #[test]
+    fn comments_and_clauses_interleave_anywhere() {
+        // A comment in the middle of a multi-line clause, two clauses on one
+        // line, and a clause split across lines must all parse.
+        let text = "c leading comment\n\
+                    p cnf 4 3\n\
+                    1 -2\n\
+                    c comment inside a clause\n\
+                    3 0\n\
+                    2 3 0 -1 4 0\n";
+        let (vars, clauses) = parse_dimacs(text).expect("interleaved input parses");
+        assert_eq!(vars, 4);
+        assert_eq!(clauses.len(), 3);
+        assert_eq!(clauses[0].len(), 3);
+        assert_eq!(clauses[1].len(), 2);
+        assert_eq!(clauses[2].len(), 2);
+    }
+
+    #[test]
+    fn satlib_percent_footer_ends_the_instance() {
+        let text = "p cnf 2 1\n1 2 0\n%\n0\n";
+        let (vars, clauses) = parse_dimacs(text).expect("footer is ignored");
+        assert_eq!(vars, 2);
+        assert_eq!(clauses.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_header_is_an_error() {
+        let err = parse_dimacs("p cnf 1 1\np cnf 2 1\n1 0\n").unwrap_err();
+        assert!(err.message.contains("duplicate"), "{err}");
+        assert!(err.message.contains("line 1"), "{err}");
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn malformed_headers_are_errors_with_line_numbers() {
+        let missing_clause_count = parse_dimacs("p cnf 3\n").unwrap_err();
+        assert!(missing_clause_count.message.contains("clause count"));
+        assert_eq!(missing_clause_count.line, 1);
+
+        let bad_format = parse_dimacs("c x\np sat 3 1\n").unwrap_err();
+        assert!(bad_format.message.contains("p cnf"));
+        assert_eq!(bad_format.line, 2);
+
+        let trailing = parse_dimacs("p cnf 3 1 junk\n").unwrap_err();
+        assert!(trailing.message.contains("junk"), "{trailing}");
+        assert_eq!(trailing.line, 1);
+    }
+
+    #[test]
+    fn unterminated_clause_is_an_error_at_its_first_line() {
+        let err = parse_dimacs("p cnf 3 2\n1 2 0\n3\n-1\n").unwrap_err();
+        assert!(err.message.contains("unterminated"), "{err}");
+        assert_eq!(err.line, 3);
+    }
+
+    #[test]
+    fn clause_count_mismatch_is_an_error_at_the_header() {
+        let err = parse_dimacs("p cnf 2 3\n1 0\n2 0\n").unwrap_err();
+        assert!(err.message.contains("declares 3"), "{err}");
+        assert!(err.message.contains("2 were found"), "{err}");
+        assert_eq!(err.line, 1);
     }
 
     #[test]

@@ -45,6 +45,7 @@ mod dimacs;
 mod heap;
 mod literal;
 mod model;
+mod preprocess;
 mod propagate;
 mod reduce;
 mod solver;
@@ -56,6 +57,7 @@ pub use clause::{Clause, ClauseRef};
 pub use dimacs::{parse_dimacs, solver_from_dimacs, write_dimacs, DimacsError};
 pub use literal::{Lit, Var};
 pub use model::Model;
+pub use preprocess::{FormulaProfile, PreprocessConfig, PreprocessSummary};
 pub use solver::{SolveOutcome, Solver, SolverConfig};
 pub use stats::SolverStats;
 pub use theory::{NullTheory, Theory, TheoryResult};

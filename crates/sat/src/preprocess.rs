@@ -1,0 +1,1579 @@
+//! Static formula analysis and SatELite-style preprocessing.
+//!
+//! This module adds a simplification layer that runs on the clause database
+//! between [`Solver::add_clause`] and the search loop. It has two halves:
+//!
+//! * **Analysis** — [`FormulaProfile`] summarizes the structure of the current
+//!   formula: clause-size histogram, binary-implication-graph (BIG)
+//!   equivalence classes, pure literals, fixed/frozen variable counts.
+//! * **Simplification** — a [SatELite]-style pipeline: top-level unit
+//!   propagation, equivalent-literal substitution over BIG strongly connected
+//!   components, subsumption + self-subsuming resolution (occurrence-indexed),
+//!   failed-literal probing, and bounded variable elimination (BVE; pure
+//!   literals fall out as the zero-resolvent special case).
+//!
+//! Eliminated and substituted variables are recorded on an **elimination
+//! stack** so that models of the simplified formula can be extended back to
+//! models of the original formula (see [`Solver::model`]); this is load-bearing
+//! because the `smt` and `core` layers read models to extract predictions and
+//! drive steered replay. Theory atoms must be [frozen](Solver::freeze_var):
+//! the theory attaches extra semantics to them that clause-level resolution
+//! cannot see, so they are never eliminated or substituted (they may still be
+//! fixed by unit propagation or probing, which is sound).
+//!
+//! The preprocessor is incremental-safe: [`Solver::add_clause`] maps literals
+//! through the substitution table and transparently restores eliminated
+//! variables that a new clause mentions (re-adding their stored clauses), so
+//! blocking-clause loops keep working.
+//!
+//! [SatELite]: https://doi.org/10.1007/11499107_5
+
+use crate::assignment::LBool;
+use crate::clause::{Clause, ClauseDb};
+use crate::literal::{Lit, Var};
+use crate::solver::Solver;
+
+/// Tuning knobs for the preprocessing pipeline (see [`crate::SolverConfig`]).
+#[derive(Debug, Clone)]
+pub struct PreprocessConfig {
+    /// Master switch; when `false` the solver searches the formula as-is.
+    pub enabled: bool,
+    /// Maximum number of simplification rounds per `preprocess` call.
+    pub max_rounds: u32,
+    /// Enable equivalent-literal substitution over BIG SCCs.
+    pub equiv: bool,
+    /// Enable clause subsumption.
+    pub subsumption: bool,
+    /// Enable self-subsuming resolution (clause strengthening).
+    pub strengthen: bool,
+    /// Enable failed-literal probing.
+    pub probing: bool,
+    /// Enable bounded variable elimination.
+    pub bve: bool,
+    /// Maximum number of probes per `preprocess` call.
+    pub probe_limit: usize,
+    /// Skip BVE for variables occurring more often than this in either
+    /// polarity.
+    pub bve_occurrence_limit: usize,
+}
+
+impl Default for PreprocessConfig {
+    fn default() -> Self {
+        PreprocessConfig {
+            enabled: true,
+            max_rounds: 3,
+            equiv: true,
+            subsumption: true,
+            strengthen: true,
+            probing: true,
+            bve: true,
+            probe_limit: 4000,
+            bve_occurrence_limit: 10,
+        }
+    }
+}
+
+/// What one [`Solver::preprocess`] call did to the formula.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PreprocessSummary {
+    /// Simplification rounds executed.
+    pub rounds: u64,
+    /// Literals fixed at the top level (units, probing consequences).
+    pub fixed: u64,
+    /// Variables substituted by an equivalent literal.
+    pub equivalences: u64,
+    /// Clauses removed by subsumption.
+    pub subsumed: u64,
+    /// Literals removed by self-subsuming resolution.
+    pub strengthened: u64,
+    /// Variables removed by bounded variable elimination.
+    pub eliminated: u64,
+    /// Resolvent clauses added by variable elimination.
+    pub resolvents: u64,
+    /// Failed-literal probes attempted.
+    pub probes: u64,
+    /// Problem clauses before / after the call.
+    pub clauses_before: u64,
+    /// Problem clauses after the call.
+    pub clauses_after: u64,
+    /// Problem literal occurrences before the call.
+    pub literals_before: u64,
+    /// Problem literal occurrences after the call.
+    pub literals_after: u64,
+    /// The formula was proven unsatisfiable during preprocessing.
+    pub unsat: bool,
+}
+
+impl std::fmt::Display for PreprocessSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "rounds={} clauses {} -> {} literals {} -> {} (fixed={} equiv={} subsumed={} strengthened={} eliminated={} resolvents={} probes={}{})",
+            self.rounds,
+            self.clauses_before,
+            self.clauses_after,
+            self.literals_before,
+            self.literals_after,
+            self.fixed,
+            self.equivalences,
+            self.subsumed,
+            self.strengthened,
+            self.eliminated,
+            self.resolvents,
+            self.probes,
+            if self.unsat { " UNSAT" } else { "" },
+        )
+    }
+}
+
+/// Structural summary of the current formula (live problem clauses under the
+/// current top-level assignment).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FormulaProfile {
+    /// Total variables ever created.
+    pub variables: u64,
+    /// Variables still active (not eliminated or substituted away).
+    pub active_variables: u64,
+    /// Variables fixed at the top level.
+    pub fixed_variables: u64,
+    /// Variables frozen against elimination (theory atoms).
+    pub frozen_variables: u64,
+    /// Live problem clauses.
+    pub clauses: u64,
+    /// Literal occurrences over live problem clauses.
+    pub literals: u64,
+    /// Live binary problem clauses.
+    pub binary_clauses: u64,
+    /// Live ternary problem clauses.
+    pub ternary_clauses: u64,
+    /// `(clause length, count)` pairs, ascending by length.
+    pub size_histogram: Vec<(usize, u64)>,
+    /// Unfixed variables occurring in exactly one polarity.
+    pub pure_literals: u64,
+    /// Non-trivial strongly connected components of the binary implication
+    /// graph (each witnesses a class of equivalent literals).
+    pub equivalence_classes: u64,
+    /// Literals inside those non-trivial components.
+    pub equivalent_literals: u64,
+}
+
+impl std::fmt::Display for FormulaProfile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "variables: {} ({} active, {} fixed, {} frozen)",
+            self.variables, self.active_variables, self.fixed_variables, self.frozen_variables
+        )?;
+        writeln!(
+            f,
+            "clauses: {} ({} binary, {} ternary), literals: {}",
+            self.clauses, self.binary_clauses, self.ternary_clauses, self.literals
+        )?;
+        write!(f, "size histogram:")?;
+        for &(len, count) in &self.size_histogram {
+            write!(f, " {len}:{count}")?;
+        }
+        writeln!(f)?;
+        write!(
+            f,
+            "pure literals: {}, equivalence classes: {} ({} literals)",
+            self.pure_literals, self.equivalence_classes, self.equivalent_literals
+        )
+    }
+}
+
+/// Lifecycle state of a variable with respect to preprocessing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum VarState {
+    /// Present in the formula and decidable.
+    Active,
+    /// Replaced everywhere by an equivalent literal (`subst` has the image).
+    Substituted,
+    /// Removed by variable elimination (`restore_clauses` has its clauses).
+    Eliminated,
+}
+
+/// One entry of the model-reconstruction stack. Replayed newest-first: if
+/// `clause` is unsatisfied under the model built so far, the pivot variable is
+/// flipped so that `pivot` becomes true.
+#[derive(Debug, Clone)]
+pub(crate) struct ElimEntry {
+    pub(crate) pivot: Lit,
+    pub(crate) clause: Vec<Lit>,
+}
+
+/// A recorded simplification that removes a variable from the formula.
+enum SimpOp {
+    /// `pos(var)` is equivalent to `rep`.
+    Substitute { var: Var, rep: Lit },
+    /// `var` was eliminated by resolution.
+    Eliminate {
+        var: Var,
+        stack: Vec<ElimEntry>,
+        restore: Vec<Vec<Lit>>,
+    },
+}
+
+/// Computes the non-trivial SCCs of the binary implication graph spanned by
+/// `binary` (clauses `[a, b]` contribute edges `¬a → b` and `¬b → a`).
+/// Returns each SCC as a list of literal codes; only components with two or
+/// more members are reported. Deterministic: Tarjan's algorithm over literal
+/// codes in ascending order.
+fn big_sccs(num_vars: usize, binary: &[[Lit; 2]]) -> Vec<Vec<Lit>> {
+    let n = 2 * num_vars;
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for &[a, b] in binary {
+        adj[a.negate().code()].push(b.code() as u32);
+        adj[b.negate().code()].push(a.code() as u32);
+    }
+
+    const UNDEF: u32 = u32::MAX;
+    let mut index = vec![UNDEF; n];
+    let mut low = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<u32> = Vec::new();
+    let mut next_index: u32 = 0;
+    let mut sccs: Vec<Vec<Lit>> = Vec::new();
+    // Explicit DFS frames: (node, next-edge cursor).
+    let mut frames: Vec<(u32, usize)> = Vec::new();
+
+    for root in 0..n as u32 {
+        if index[root as usize] != UNDEF {
+            continue;
+        }
+        frames.push((root, 0));
+        index[root as usize] = next_index;
+        low[root as usize] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root as usize] = true;
+
+        while let Some(&mut (node, ref mut cursor)) = frames.last_mut() {
+            if *cursor < adj[node as usize].len() {
+                let succ = adj[node as usize][*cursor];
+                *cursor += 1;
+                if index[succ as usize] == UNDEF {
+                    frames.push((succ, 0));
+                    index[succ as usize] = next_index;
+                    low[succ as usize] = next_index;
+                    next_index += 1;
+                    stack.push(succ);
+                    on_stack[succ as usize] = true;
+                } else if on_stack[succ as usize] {
+                    low[node as usize] = low[node as usize].min(index[succ as usize]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&(parent, _)) = frames.last() {
+                    low[parent as usize] = low[parent as usize].min(low[node as usize]);
+                }
+                if low[node as usize] == index[node as usize] {
+                    let mut scc = Vec::new();
+                    loop {
+                        let member = stack.pop().expect("SCC stack underflow");
+                        on_stack[member as usize] = false;
+                        scc.push(Lit::from_code(member));
+                        if member == node {
+                            break;
+                        }
+                    }
+                    if scc.len() >= 2 {
+                        scc.sort_unstable();
+                        sccs.push(scc);
+                    }
+                }
+            }
+        }
+    }
+    sccs
+}
+
+/// Occurrence-indexed clause simplifier working on an extracted copy of the
+/// problem clauses. Builds up a list of [`SimpOp`]s plus newly fixed literals
+/// that the solver applies afterwards.
+struct Simplifier {
+    cfg: PreprocessConfig,
+    num_vars: usize,
+    /// Live working clauses (`None` = removed). Invariant: every live clause
+    /// has length ≥ 2 and mentions only active, unfixed variables (up to
+    /// units still waiting in `unit_queue`).
+    clauses: Vec<Option<Vec<Lit>>>,
+    /// Variable-based 64-bit signature per clause (subsumption filter).
+    sigs: Vec<u64>,
+    /// `occ[l.code()]` ⊇ indices of live clauses containing `l` (entries may
+    /// be stale; consumers re-validate).
+    occ: Vec<Vec<usize>>,
+    fixed: Vec<LBool>,
+    frozen: Vec<bool>,
+    active: Vec<bool>,
+    /// `pos(v) ≡ lit` for variables substituted during this run.
+    subst_of: Vec<Option<Lit>>,
+    unit_queue: Vec<Lit>,
+    unit_head: usize,
+    /// Literals newly fixed by this run, in fix order.
+    new_fixed: Vec<Lit>,
+    ops: Vec<SimpOp>,
+    summary: PreprocessSummary,
+    unsat: bool,
+    probes_used: usize,
+}
+
+impl Simplifier {
+    fn new(
+        cfg: PreprocessConfig,
+        num_vars: usize,
+        fixed: Vec<LBool>,
+        frozen: Vec<bool>,
+        active: Vec<bool>,
+        originals: Vec<Vec<Lit>>,
+    ) -> Self {
+        let mut simp = Simplifier {
+            cfg,
+            num_vars,
+            clauses: Vec::with_capacity(originals.len()),
+            sigs: Vec::with_capacity(originals.len()),
+            occ: vec![Vec::new(); 2 * num_vars],
+            fixed,
+            frozen,
+            active,
+            subst_of: vec![None; num_vars],
+            unit_queue: Vec::new(),
+            unit_head: 0,
+            new_fixed: Vec::new(),
+            ops: Vec::new(),
+            summary: PreprocessSummary::default(),
+            unsat: false,
+            probes_used: 0,
+        };
+        for lits in originals {
+            simp.ingest(lits);
+        }
+        simp
+    }
+
+    fn sig_of(lits: &[Lit]) -> u64 {
+        lits.iter()
+            .fold(0u64, |acc, l| acc | 1u64 << (l.var().index() & 63))
+    }
+
+    /// Normalizes `lits` against the fixed map and stores the clause (or
+    /// enqueues it as a unit / flags unsatisfiability).
+    fn ingest(&mut self, lits: Vec<Lit>) {
+        let mut simplified: Vec<Lit> = Vec::with_capacity(lits.len());
+        for lit in lits {
+            match self.value(lit) {
+                LBool::True => return,
+                LBool::False => {}
+                LBool::Undef => simplified.push(lit),
+            }
+        }
+        simplified.sort_unstable();
+        simplified.dedup();
+        for w in simplified.windows(2) {
+            if w[0] == w[1].negate() {
+                return; // tautology
+            }
+        }
+        match simplified.len() {
+            0 => self.unsat = true,
+            1 => self.enqueue_fix(simplified[0]),
+            _ => {
+                self.push_clause(simplified);
+            }
+        }
+    }
+
+    fn push_clause(&mut self, lits: Vec<Lit>) -> usize {
+        let ci = self.clauses.len();
+        self.sigs.push(Self::sig_of(&lits));
+        for &l in &lits {
+            self.occ[l.code()].push(ci);
+        }
+        self.clauses.push(Some(lits));
+        ci
+    }
+
+    fn remove_clause(&mut self, ci: usize) {
+        self.clauses[ci] = None;
+    }
+
+    fn value(&self, lit: Lit) -> LBool {
+        let v = self.fixed[lit.var().index()];
+        if lit.is_negative() {
+            v.negate()
+        } else {
+            v
+        }
+    }
+
+    fn contains(&self, ci: usize, lit: Lit) -> bool {
+        match &self.clauses[ci] {
+            Some(lits) => lits.contains(&lit),
+            None => false,
+        }
+    }
+
+    fn enqueue_fix(&mut self, lit: Lit) {
+        self.unit_queue.push(lit);
+    }
+
+    /// Resolves `lit` through the substitutions recorded so far.
+    fn resolve(&self, mut lit: Lit) -> Lit {
+        while let Some(rep) = self.subst_of[lit.var().index()] {
+            lit = if lit.is_positive() { rep } else { rep.negate() };
+        }
+        lit
+    }
+
+    /// Drains the unit queue: fixes each literal and rewrites the clause set
+    /// accordingly (removing satisfied clauses, stripping falsified literals).
+    fn propagate_fixed(&mut self) {
+        while self.unit_head < self.unit_queue.len() {
+            let lit = self.resolve(self.unit_queue[self.unit_head]);
+            self.unit_head += 1;
+            match self.value(lit) {
+                LBool::True => continue,
+                LBool::False => {
+                    self.unsat = true;
+                    return;
+                }
+                LBool::Undef => {}
+            }
+            self.fixed[lit.var().index()] = LBool::from_bool(lit.is_positive());
+            self.new_fixed.push(lit);
+            self.summary.fixed += 1;
+
+            let satisfied = std::mem::take(&mut self.occ[lit.code()]);
+            for ci in satisfied {
+                if self.contains(ci, lit) {
+                    self.remove_clause(ci);
+                }
+            }
+            let neg = lit.negate();
+            let falsified = std::mem::take(&mut self.occ[neg.code()]);
+            for ci in falsified {
+                if !self.contains(ci, neg) {
+                    continue;
+                }
+                let lits = self.clauses[ci].as_mut().expect("validated live");
+                lits.retain(|&l| l != neg);
+                self.sigs[ci] = Self::sig_of(lits);
+                match lits.len() {
+                    0 => {
+                        self.unsat = true;
+                        return;
+                    }
+                    1 => {
+                        let unit = lits[0];
+                        self.remove_clause(ci);
+                        self.enqueue_fix(unit);
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    /// Equivalent-literal substitution over binary-implication-graph SCCs.
+    fn equiv_pass(&mut self) -> bool {
+        let binary: Vec<[Lit; 2]> = self
+            .clauses
+            .iter()
+            .flatten()
+            .filter(|lits| lits.len() == 2)
+            .map(|lits| [lits[0], lits[1]])
+            .collect();
+        let sccs = big_sccs(self.num_vars, &binary);
+        let mut changed = false;
+        for scc in sccs {
+            // l and ¬l in one SCC means l ↔ ¬l: unsatisfiable.
+            for w in scc.windows(2) {
+                if w[0].var() == w[1].var() {
+                    self.unsat = true;
+                    return true;
+                }
+            }
+            // Prefer a frozen representative so theory atoms are never
+            // substituted away; otherwise the smallest literal code. Mirror
+            // SCCs make the same choice (same variable, flipped sign).
+            let rep = scc
+                .iter()
+                .copied()
+                .find(|l| self.frozen[l.var().index()])
+                .unwrap_or(scc[0]);
+            for &member in &scc {
+                let var = member.var();
+                if var == rep.var() || self.frozen[var.index()] || !self.active[var.index()] {
+                    continue;
+                }
+                if self.fixed[var.index()].is_assigned() {
+                    continue;
+                }
+                // pos(var) ≡ image.
+                let image = if member.is_positive() {
+                    rep
+                } else {
+                    rep.negate()
+                };
+                self.substitute(var, image);
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    /// Replaces every occurrence of `var` by `image` (the image of the
+    /// positive literal) and records the operation.
+    fn substitute(&mut self, var: Var, image: Lit) {
+        debug_assert!(self.active[var.index()]);
+        debug_assert!(!self.frozen[var.index()]);
+        self.active[var.index()] = false;
+        self.subst_of[var.index()] = Some(image);
+        self.summary.equivalences += 1;
+        self.ops.push(SimpOp::Substitute { var, rep: image });
+
+        for code in [Lit::positive(var).code(), Lit::negative(var).code()] {
+            let lit = Lit::from_code(code as u32);
+            let occurrences = std::mem::take(&mut self.occ[code]);
+            for ci in occurrences {
+                if !self.contains(ci, lit) {
+                    continue;
+                }
+                let old = self.clauses[ci].take().expect("validated live");
+                let mapped: Vec<Lit> = old
+                    .into_iter()
+                    .map(|l| {
+                        if l.var() == var {
+                            if l.is_positive() {
+                                image
+                            } else {
+                                image.negate()
+                            }
+                        } else {
+                            l
+                        }
+                    })
+                    .collect();
+                let mut simplified: Vec<Lit> = Vec::with_capacity(mapped.len());
+                let mut satisfied = false;
+                for l in mapped {
+                    match self.value(l) {
+                        LBool::True => {
+                            satisfied = true;
+                            break;
+                        }
+                        LBool::False => {}
+                        LBool::Undef => simplified.push(l),
+                    }
+                }
+                if satisfied {
+                    continue; // clause stays removed
+                }
+                simplified.sort_unstable();
+                simplified.dedup();
+                let tautology = simplified.windows(2).any(|w| w[0] == w[1].negate());
+                if tautology {
+                    continue; // clause stays removed
+                }
+                match simplified.len() {
+                    0 => {
+                        self.unsat = true;
+                        return;
+                    }
+                    1 => self.enqueue_fix(simplified[0]),
+                    _ => {
+                        self.sigs[ci] = Self::sig_of(&simplified);
+                        for &l in &simplified {
+                            if l.var() == image.var() {
+                                self.occ[l.code()].push(ci);
+                            }
+                        }
+                        self.clauses[ci] = Some(simplified);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Subsumption and (optionally) self-subsuming resolution.
+    fn subsumption_pass(&mut self) -> bool {
+        let mut changed = false;
+        for ci in 0..self.clauses.len() {
+            if self.unsat {
+                return changed;
+            }
+            let Some(c) = self.clauses[ci].clone() else {
+                continue;
+            };
+            let c_sig = self.sigs[ci];
+            // Scan the occurrence list of the least-frequent literal of C.
+            let best = c
+                .iter()
+                .copied()
+                .min_by_key(|l| self.occ[l.code()].len())
+                .expect("live clauses are non-empty");
+            let candidates = self.occ[best.code()].clone();
+            for dj in candidates {
+                if dj == ci || !self.contains(dj, best) {
+                    continue;
+                }
+                let d = self.clauses[dj].as_ref().expect("validated live");
+                if d.len() < c.len() || c_sig & !self.sigs[dj] != 0 {
+                    continue;
+                }
+                if c.iter().all(|l| d.contains(l)) {
+                    self.remove_clause(dj);
+                    self.summary.subsumed += 1;
+                    changed = true;
+                }
+            }
+            if !self.cfg.strengthen {
+                continue;
+            }
+            // Self-subsuming resolution: if C \ {l} ⊆ D and ¬l ∈ D then the
+            // resolvent of C and D on l subsumes D, so ¬l can be removed
+            // from D.
+            for &l in &c {
+                if self.clauses[ci].is_none() {
+                    break; // C itself got strengthened away meanwhile
+                }
+                let neg = l.negate();
+                let candidates = self.occ[neg.code()].clone();
+                for dj in candidates {
+                    if dj == ci || !self.contains(dj, neg) {
+                        continue;
+                    }
+                    let d = self.clauses[dj].as_ref().expect("validated live");
+                    if d.len() < c.len() || c_sig & !self.sigs[dj] != 0 {
+                        continue;
+                    }
+                    if !c.iter().all(|&m| m == l || d.contains(&m)) {
+                        continue;
+                    }
+                    let lits = self.clauses[dj].as_mut().expect("validated live");
+                    lits.retain(|&m| m != neg);
+                    self.sigs[dj] = Self::sig_of(lits);
+                    self.summary.strengthened += 1;
+                    changed = true;
+                    if lits.len() == 1 {
+                        let unit = lits[0];
+                        self.remove_clause(dj);
+                        self.enqueue_fix(unit);
+                    }
+                }
+            }
+        }
+        changed
+    }
+
+    /// Failed-literal probing: temporarily assume a literal, run unit
+    /// propagation, and permanently fix its negation if a conflict arises.
+    fn probe_pass(&mut self) -> bool {
+        // Only variables with binary-clause occurrences can propagate anything
+        // from a single assumption worth probing.
+        let mut in_binary = vec![false; self.num_vars];
+        for lits in self.clauses.iter().flatten() {
+            if lits.len() == 2 {
+                for l in lits {
+                    in_binary[l.var().index()] = true;
+                }
+            }
+        }
+        let mut changed = false;
+        for (v, &var_in_binary) in in_binary.iter().enumerate() {
+            if self.unsat || self.probes_used >= self.cfg.probe_limit {
+                break;
+            }
+            let var = Var::from_index(v as u32);
+            if !var_in_binary || !self.active[v] || self.fixed[v].is_assigned() {
+                continue;
+            }
+            for lit in [Lit::positive(var), Lit::negative(var)] {
+                if self.fixed[v].is_assigned() || self.probes_used >= self.cfg.probe_limit {
+                    break;
+                }
+                self.probes_used += 1;
+                self.summary.probes += 1;
+                if self.probe(lit) {
+                    self.enqueue_fix(lit.negate());
+                    self.propagate_fixed();
+                    changed = true;
+                    if self.unsat {
+                        return true;
+                    }
+                }
+            }
+        }
+        changed
+    }
+
+    /// Assumes `start` and unit-propagates over the working clauses without
+    /// modifying them. Returns `true` on conflict. The `fixed` map is
+    /// restored before returning.
+    fn probe(&mut self, start: Lit) -> bool {
+        debug_assert_eq!(self.value(start), LBool::Undef);
+        let mut trail: Vec<Var> = Vec::new();
+        let mut queue: Vec<Lit> = vec![start];
+        self.fixed[start.var().index()] = LBool::from_bool(start.is_positive());
+        trail.push(start.var());
+        let mut head = 0;
+        let mut conflict = false;
+
+        'outer: while head < queue.len() {
+            let p = queue[head];
+            head += 1;
+            let watch = p.negate().code();
+            let mut k = 0;
+            while k < self.occ[watch].len() {
+                let ci = self.occ[watch][k];
+                k += 1;
+                if !self.contains(ci, p.negate()) {
+                    continue;
+                }
+                let lits = self.clauses[ci].as_ref().expect("validated live");
+                let mut unassigned: Option<Lit> = None;
+                let mut num_unassigned = 0;
+                let mut satisfied = false;
+                for &l in lits {
+                    match self.value(l) {
+                        LBool::True => {
+                            satisfied = true;
+                            break;
+                        }
+                        LBool::Undef => {
+                            num_unassigned += 1;
+                            unassigned = Some(l);
+                        }
+                        LBool::False => {}
+                    }
+                }
+                if satisfied {
+                    continue;
+                }
+                match num_unassigned {
+                    0 => {
+                        conflict = true;
+                        break 'outer;
+                    }
+                    1 => {
+                        let l = unassigned.expect("counted one unassigned literal");
+                        self.fixed[l.var().index()] = LBool::from_bool(l.is_positive());
+                        trail.push(l.var());
+                        queue.push(l);
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        for var in trail {
+            self.fixed[var.index()] = LBool::Undef;
+        }
+        conflict
+    }
+
+    /// Bounded variable elimination (pure literals are the zero-resolvent
+    /// case). Processes variables in ascending index order for determinism.
+    fn bve_pass(&mut self) -> bool {
+        // Rebuild occurrence lists from live clauses to drop stale entries.
+        for list in &mut self.occ {
+            list.clear();
+        }
+        for (ci, lits) in self.clauses.iter().enumerate() {
+            if let Some(lits) = lits {
+                for &l in lits {
+                    self.occ[l.code()].push(ci);
+                }
+            }
+        }
+
+        let mut changed = false;
+        for v in 0..self.num_vars {
+            if self.unsat {
+                break;
+            }
+            // Keep the unit queue drained so that pending unit constraints can
+            // never be lost by eliminating their variable.
+            self.propagate_fixed();
+            if self.unsat {
+                break;
+            }
+            if !self.active[v] || self.frozen[v] || self.fixed[v].is_assigned() {
+                continue;
+            }
+            let var = Var::from_index(v as u32);
+            let pos = Lit::positive(var);
+            let neg = Lit::negative(var);
+            let gather = |simp: &Simplifier, lit: Lit| -> Vec<usize> {
+                let mut list: Vec<usize> = simp.occ[lit.code()]
+                    .iter()
+                    .copied()
+                    .filter(|&ci| simp.contains(ci, lit))
+                    .collect();
+                list.sort_unstable();
+                list.dedup();
+                list
+            };
+            let pos_list = gather(self, pos);
+            let neg_list = gather(self, neg);
+            if pos_list.is_empty() && neg_list.is_empty() {
+                continue; // unconstrained; nothing to gain
+            }
+            let limit = self.cfg.bve_occurrence_limit;
+            if pos_list.len() > limit || neg_list.len() > limit {
+                continue;
+            }
+
+            // Generate non-tautological resolvents; bail out if elimination
+            // would grow the clause count.
+            let max_resolvents = pos_list.len() + neg_list.len();
+            let mut resolvents: Vec<Vec<Lit>> = Vec::new();
+            let mut too_many = false;
+            'product: for &pi in &pos_list {
+                for &ni in &neg_list {
+                    let p_lits = self.clauses[pi].as_ref().expect("validated live");
+                    let n_lits = self.clauses[ni].as_ref().expect("validated live");
+                    let mut res: Vec<Lit> = p_lits.iter().copied().filter(|&l| l != pos).collect();
+                    res.extend(n_lits.iter().copied().filter(|&l| l != neg));
+                    res.sort_unstable();
+                    res.dedup();
+                    if res.windows(2).any(|w| w[0] == w[1].negate()) {
+                        continue; // tautology
+                    }
+                    resolvents.push(res);
+                    if resolvents.len() > max_resolvents {
+                        too_many = true;
+                        break 'product;
+                    }
+                }
+            }
+            if too_many {
+                continue;
+            }
+
+            // Commit: record restoration clauses and reconstruction entries
+            // (the smaller side plus a defaulting unit), then swap the
+            // variable's clauses for the resolvents.
+            let clone_side = |simp: &Simplifier, list: &[usize]| -> Vec<Vec<Lit>> {
+                list.iter()
+                    .map(|&ci| simp.clauses[ci].as_ref().expect("validated live").clone())
+                    .collect()
+            };
+            let pos_clauses = clone_side(self, &pos_list);
+            let neg_clauses = clone_side(self, &neg_list);
+            let mut stack = Vec::new();
+            if pos_clauses.len() <= neg_clauses.len() {
+                for clause in &pos_clauses {
+                    stack.push(ElimEntry {
+                        pivot: pos,
+                        clause: clause.clone(),
+                    });
+                }
+                stack.push(ElimEntry {
+                    pivot: neg,
+                    clause: vec![neg],
+                });
+            } else {
+                for clause in &neg_clauses {
+                    stack.push(ElimEntry {
+                        pivot: neg,
+                        clause: clause.clone(),
+                    });
+                }
+                stack.push(ElimEntry {
+                    pivot: pos,
+                    clause: vec![pos],
+                });
+            }
+            let mut restore = pos_clauses;
+            restore.extend(neg_clauses);
+
+            for &ci in pos_list.iter().chain(&neg_list) {
+                self.remove_clause(ci);
+            }
+            self.active[v] = false;
+            self.summary.eliminated += 1;
+            self.summary.resolvents += resolvents.len() as u64;
+            self.ops.push(SimpOp::Eliminate {
+                var,
+                stack,
+                restore,
+            });
+            for res in resolvents {
+                match res.len() {
+                    0 => unreachable!("resolvent of two non-unit clauses is non-empty"),
+                    1 => self.enqueue_fix(res[0]),
+                    _ => {
+                        self.push_clause(res);
+                    }
+                }
+            }
+            changed = true;
+        }
+        changed
+    }
+
+    /// Runs the configured passes to fixpoint (bounded by `max_rounds`).
+    fn run(&mut self) {
+        for _round in 0..self.cfg.max_rounds {
+            if self.unsat {
+                break;
+            }
+            self.summary.rounds += 1;
+            let mut changed = false;
+            self.propagate_fixed();
+            if self.cfg.equiv && !self.unsat {
+                changed |= self.equiv_pass();
+                self.propagate_fixed();
+            }
+            if self.cfg.subsumption && !self.unsat {
+                changed |= self.subsumption_pass();
+                self.propagate_fixed();
+            }
+            if self.cfg.probing && !self.unsat {
+                changed |= self.probe_pass();
+            }
+            if self.cfg.bve && !self.unsat {
+                changed |= self.bve_pass();
+                self.propagate_fixed();
+            }
+            if !changed || self.unsat {
+                break;
+            }
+        }
+        self.propagate_fixed();
+    }
+}
+
+impl Solver {
+    /// Marks `var` as frozen: preprocessing will never eliminate it or
+    /// substitute it away (it may still be fixed by unit propagation or
+    /// probing). Theory atoms **must** be frozen because the theory attaches
+    /// semantics to them that clause-level resolution cannot see.
+    pub fn freeze_var(&mut self, var: Var) {
+        self.frozen[var.index()] = true;
+    }
+
+    /// Whether `var` is currently active (present in the formula, as opposed
+    /// to eliminated or substituted away by preprocessing).
+    #[must_use]
+    pub fn is_active_var(&self, var: Var) -> bool {
+        self.var_state[var.index()] == VarState::Active
+    }
+
+    /// Resolves `lit` through the equivalent-literal substitution table.
+    pub(crate) fn resolve_subst(&self, mut lit: Lit) -> Lit {
+        while self.var_state[lit.var().index()] == VarState::Substituted {
+            let rep = self.subst[lit.var().index()];
+            lit = if lit.is_positive() { rep } else { rep.negate() };
+        }
+        lit
+    }
+
+    /// Re-introduces an eliminated variable by re-adding its stored clauses.
+    /// Called when an incremental clause mentions the variable again.
+    pub(crate) fn restore_var(&mut self, var: Var) {
+        if self.var_state[var.index()] != VarState::Eliminated {
+            return;
+        }
+        self.var_state[var.index()] = VarState::Active;
+        self.stats.pp_restored += 1;
+        // Drop the variable's reconstruction entries: its value will again be
+        // determined by search, and stale entries must not overwrite it.
+        self.elim_stack.retain(|e| e.pivot.var() != var);
+        self.heap.insert(var);
+        let clauses = std::mem::take(&mut self.restore_clauses[var.index()]);
+        for clause in clauses {
+            self.add_clause_internal(clause, false);
+        }
+    }
+
+    /// Extends `values` (a model of the simplified formula) to a model of the
+    /// original formula by replaying the elimination stack newest-first.
+    pub(crate) fn reconstruct_model(&self, values: &mut [bool]) {
+        for entry in self.elim_stack.iter().rev() {
+            let var = entry.pivot.var();
+            if self.var_state[var.index()] == VarState::Active {
+                continue;
+            }
+            let satisfied = entry
+                .clause
+                .iter()
+                .any(|l| values[l.var().index()] == l.is_positive());
+            if !satisfied {
+                values[var.index()] = entry.pivot.is_positive();
+            }
+        }
+    }
+
+    /// Computes a [`FormulaProfile`] of the live problem clauses.
+    #[must_use]
+    pub fn profile(&self) -> FormulaProfile {
+        let mut profile = FormulaProfile {
+            variables: self.num_vars() as u64,
+            ..FormulaProfile::default()
+        };
+        for v in 0..self.num_vars() {
+            let var = Var::from_index(v as u32);
+            if self.var_state[v] == VarState::Active {
+                profile.active_variables += 1;
+            }
+            if self.assignment.value_var(var).is_assigned() {
+                profile.fixed_variables += 1;
+            }
+            if self.frozen[v] {
+                profile.frozen_variables += 1;
+            }
+        }
+        let mut histogram: Vec<u64> = Vec::new();
+        let mut occurs = vec![[false; 2]; self.num_vars()];
+        let mut binary: Vec<[Lit; 2]> = Vec::new();
+        for clause in &self.db.clauses {
+            if clause.deleted || clause.learnt {
+                continue;
+            }
+            profile.clauses += 1;
+            profile.literals += clause.lits.len() as u64;
+            match clause.lits.len() {
+                2 => {
+                    profile.binary_clauses += 1;
+                    binary.push([clause.lits[0], clause.lits[1]]);
+                }
+                3 => profile.ternary_clauses += 1,
+                _ => {}
+            }
+            if histogram.len() <= clause.lits.len() {
+                histogram.resize(clause.lits.len() + 1, 0);
+            }
+            histogram[clause.lits.len()] += 1;
+            for &l in &clause.lits {
+                occurs[l.var().index()][usize::from(l.is_negative())] = true;
+            }
+        }
+        profile.size_histogram = histogram
+            .iter()
+            .enumerate()
+            .filter(|&(_, &count)| count > 0)
+            .map(|(len, &count)| (len, count))
+            .collect();
+        for (v, &[pos, neg]) in occurs.iter().enumerate() {
+            let var = Var::from_index(v as u32);
+            if (pos ^ neg) && !self.assignment.value_var(var).is_assigned() {
+                profile.pure_literals += 1;
+            }
+        }
+        let sccs = big_sccs(self.num_vars(), &binary);
+        profile.equivalence_classes = sccs.len() as u64;
+        profile.equivalent_literals = sccs.iter().map(|s| s.len() as u64).sum();
+        profile
+    }
+
+    /// Runs the static preprocessing pipeline on the current clause database.
+    ///
+    /// Invoked automatically at the start of [`Solver::solve`] when enabled;
+    /// calling it explicitly is idempotent (the formula is only reprocessed
+    /// after new clauses arrive). Returns a summary of the changes made.
+    pub fn preprocess(&mut self) -> PreprocessSummary {
+        let mut summary = PreprocessSummary::default();
+        if !self.ok {
+            summary.unsat = true;
+            return summary;
+        }
+        if !self.config.preprocess.enabled || !self.pp_dirty {
+            return summary;
+        }
+        self.cancel_until(0);
+        self.model = None;
+        if self.propagate().is_some() {
+            self.ok = false;
+            summary.unsat = true;
+            return summary;
+        }
+        self.pp_dirty = false;
+
+        summary.clauses_before = self.db.num_original as u64;
+        summary.literals_before = self.db.literal_count;
+
+        // Extract the live problem clauses.
+        let originals: Vec<Vec<Lit>> = self
+            .db
+            .clauses
+            .iter()
+            .filter(|c| !c.deleted && !c.learnt)
+            .map(|c| c.lits.clone())
+            .collect();
+        let fixed: Vec<LBool> = (0..self.num_vars())
+            .map(|v| self.assignment.value_var(Var::from_index(v as u32)))
+            .collect();
+        let active: Vec<bool> = self
+            .var_state
+            .iter()
+            .map(|&s| s == VarState::Active)
+            .collect();
+
+        let mut simp = Simplifier::new(
+            self.config.preprocess.clone(),
+            self.num_vars(),
+            fixed,
+            self.frozen.clone(),
+            active,
+            originals,
+        );
+        simp.run();
+
+        summary.rounds = simp.summary.rounds;
+        summary.fixed = simp.summary.fixed;
+        summary.equivalences = simp.summary.equivalences;
+        summary.subsumed = simp.summary.subsumed;
+        summary.strengthened = simp.summary.strengthened;
+        summary.eliminated = simp.summary.eliminated;
+        summary.resolvents = simp.summary.resolvents;
+        summary.probes = simp.summary.probes;
+
+        if simp.unsat {
+            self.ok = false;
+            summary.unsat = true;
+            self.record_pp_stats(&summary);
+            return summary;
+        }
+
+        // Apply the recorded variable operations.
+        for op in &simp.ops {
+            match op {
+                SimpOp::Substitute { var, rep } => {
+                    debug_assert_eq!(self.var_state[var.index()], VarState::Active);
+                    self.var_state[var.index()] = VarState::Substituted;
+                    self.subst[var.index()] = *rep;
+                    self.elim_stack.push(ElimEntry {
+                        pivot: Lit::positive(*var),
+                        clause: vec![Lit::positive(*var), rep.negate()],
+                    });
+                    self.elim_stack.push(ElimEntry {
+                        pivot: Lit::negative(*var),
+                        clause: vec![Lit::negative(*var), *rep],
+                    });
+                }
+                SimpOp::Eliminate {
+                    var,
+                    stack,
+                    restore,
+                } => {
+                    debug_assert_eq!(self.var_state[var.index()], VarState::Active);
+                    self.var_state[var.index()] = VarState::Eliminated;
+                    self.elim_stack.extend(stack.iter().cloned());
+                    self.restore_clauses[var.index()] = restore.clone();
+                }
+            }
+        }
+
+        // Enqueue newly fixed literals at the top level.
+        for &lit in &simp.new_fixed {
+            debug_assert!(self.is_active_var(lit.var()));
+            match self.assignment.value_lit(lit) {
+                LBool::Undef => self.enqueue(lit, None),
+                LBool::True => {}
+                LBool::False => {
+                    self.ok = false;
+                    summary.unsat = true;
+                    self.record_pp_stats(&summary);
+                    return summary;
+                }
+            }
+        }
+
+        // Filter learnt clauses: drop any that mention a removed variable
+        // (they remain implied by the surviving formula) or that are
+        // satisfied at the top level; strip falsified literals.
+        let mut kept_learnts: Vec<(Vec<Lit>, u32, f64)> = Vec::new();
+        let mut learnt_units: Vec<Lit> = Vec::new();
+        for (_, clause) in self.db.live_learnt() {
+            if clause
+                .lits
+                .iter()
+                .any(|l| self.var_state[l.var().index()] != VarState::Active)
+            {
+                continue;
+            }
+            let mut lits = Vec::with_capacity(clause.lits.len());
+            let mut satisfied = false;
+            for &l in &clause.lits {
+                match self.assignment.value_lit(l) {
+                    LBool::True => {
+                        satisfied = true;
+                        break;
+                    }
+                    LBool::False => {}
+                    LBool::Undef => lits.push(l),
+                }
+            }
+            if satisfied || lits.is_empty() {
+                continue;
+            }
+            if lits.len() == 1 {
+                learnt_units.push(lits[0]);
+            } else {
+                kept_learnts.push((lits, clause.lbd, clause.activity));
+            }
+        }
+
+        // Rebuild the clause database and watches from scratch.
+        self.db = ClauseDb::new();
+        self.watches = vec![Vec::new(); 2 * self.num_vars()];
+        for lits in simp.clauses.into_iter().flatten() {
+            debug_assert!(lits.len() >= 2);
+            let cref = self.db.push(Clause::new(lits, false));
+            self.attach_clause(cref);
+        }
+        for (lits, lbd, activity) in kept_learnts {
+            let mut clause = Clause::new(lits, true);
+            clause.lbd = lbd;
+            clause.activity = activity;
+            let cref = self.db.push(clause);
+            self.attach_clause(cref);
+        }
+        // All reasons referenced the old database; the trail is all top-level
+        // now, and conflict analysis never looks at level-0 reasons.
+        for reason in &mut self.reasons {
+            *reason = None;
+        }
+        for lit in learnt_units {
+            if self.assignment.value_lit(lit) == LBool::Undef {
+                self.enqueue(lit, None);
+            }
+        }
+        // Re-propagate the whole trail against the rebuilt watch lists.
+        self.qhead = 0;
+
+        summary.clauses_after = self.db.num_original as u64;
+        summary.literals_after = self.db.literal_count;
+        self.record_pp_stats(&summary);
+        summary
+    }
+
+    fn record_pp_stats(&mut self, summary: &PreprocessSummary) {
+        self.stats.pp_rounds += summary.rounds;
+        self.stats.pp_fixed += summary.fixed;
+        self.stats.pp_equivalences += summary.equivalences;
+        self.stats.pp_subsumed += summary.subsumed;
+        self.stats.pp_strengthened += summary.strengthened;
+        self.stats.pp_eliminated += summary.eliminated;
+        self.stats.pp_resolvents += summary.resolvents;
+        self.stats.pp_probes += summary.probes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SolveOutcome, SolverConfig};
+
+    fn vars(solver: &mut Solver, n: usize) -> Vec<Var> {
+        (0..n).map(|_| solver.new_var()).collect()
+    }
+
+    #[test]
+    fn big_sccs_find_equivalences() {
+        // x0 ↔ x1 via (¬x0 ∨ x1) ∧ (¬x1 ∨ x0).
+        let v0 = Var::from_index(0);
+        let v1 = Var::from_index(1);
+        let binary = vec![
+            [Lit::negative(v0), Lit::positive(v1)],
+            [Lit::negative(v1), Lit::positive(v0)],
+        ];
+        let sccs = big_sccs(2, &binary);
+        assert_eq!(sccs.len(), 2, "mirror SCC pair");
+        for scc in &sccs {
+            assert_eq!(scc.len(), 2);
+            assert_ne!(scc[0].var(), scc[1].var());
+        }
+    }
+
+    #[test]
+    fn equivalent_literals_are_substituted() {
+        let mut solver = Solver::new();
+        let v = vars(&mut solver, 3);
+        solver.add_clause([Lit::negative(v[0]), Lit::positive(v[1])]);
+        solver.add_clause([Lit::negative(v[1]), Lit::positive(v[0])]);
+        solver.add_clause([Lit::positive(v[0]), Lit::positive(v[2])]);
+        solver.add_clause([Lit::negative(v[1]), Lit::negative(v[2])]);
+        let summary = solver.preprocess();
+        assert!(summary.equivalences >= 1, "x0 ≡ x1 should be detected");
+        assert_eq!(solver.solve(), SolveOutcome::Sat);
+        let m = solver.model().unwrap().clone();
+        assert_eq!(m.value(v[0]), m.value(v[1]), "equivalence must hold");
+        assert!(m.value(v[0]) || m.value(v[2]));
+        assert!(!m.value(v[1]) || !m.value(v[2]));
+    }
+
+    #[test]
+    fn opposite_literals_in_one_scc_is_unsat() {
+        // x0 → x1, x1 → ¬x0, ¬x0 → ¬x1... build x0 ≡ ¬x0 via chain:
+        // (¬x0 ∨ x1), (¬x1 ∨ ¬x0) gives x0 → ¬x0, and (x0 ∨ x1), (¬x1 ∨ x0)
+        // gives ¬x0 → x0.
+        let mut solver = Solver::new();
+        let v = vars(&mut solver, 2);
+        solver.add_clause([Lit::negative(v[0]), Lit::positive(v[1])]);
+        solver.add_clause([Lit::negative(v[1]), Lit::negative(v[0])]);
+        solver.add_clause([Lit::positive(v[0]), Lit::positive(v[1])]);
+        solver.add_clause([Lit::negative(v[1]), Lit::positive(v[0])]);
+        assert_eq!(solver.solve(), SolveOutcome::Unsat);
+    }
+
+    #[test]
+    fn subsumed_clauses_are_removed() {
+        let mut solver = Solver::new();
+        let v = vars(&mut solver, 3);
+        solver.add_clause([Lit::positive(v[0]), Lit::positive(v[1])]);
+        solver.add_clause([
+            Lit::positive(v[0]),
+            Lit::positive(v[1]),
+            Lit::positive(v[2]),
+        ]);
+        // Freeze everything so BVE cannot remove the clauses first.
+        for &var in &v {
+            solver.freeze_var(var);
+        }
+        let summary = solver.preprocess();
+        assert_eq!(summary.subsumed, 1);
+        assert_eq!(summary.clauses_after, 1);
+    }
+
+    #[test]
+    fn self_subsumption_strengthens() {
+        // (a ∨ b) and (¬a ∨ b ∨ c): resolving on a gives (b ∨ c) ⊂ second
+        // clause, so ¬a is removed from it.
+        let mut solver = Solver::new();
+        let v = vars(&mut solver, 3);
+        for &var in &v {
+            solver.freeze_var(var);
+        }
+        solver.add_clause([Lit::positive(v[0]), Lit::positive(v[1])]);
+        solver.add_clause([
+            Lit::negative(v[0]),
+            Lit::positive(v[1]),
+            Lit::positive(v[2]),
+        ]);
+        let summary = solver.preprocess();
+        assert!(summary.strengthened >= 1);
+    }
+
+    #[test]
+    fn probing_fixes_failed_literals() {
+        // ¬x0 propagates a conflict: (x0 ∨ x1) ∧ (x0 ∨ ¬x1) force x0.
+        let mut solver = Solver::new();
+        let v = vars(&mut solver, 2);
+        for &var in &v {
+            solver.freeze_var(var);
+        }
+        let config = solver.config_mut();
+        config.preprocess.bve = false;
+        solver.add_clause([Lit::positive(v[0]), Lit::positive(v[1])]);
+        solver.add_clause([Lit::positive(v[0]), Lit::negative(v[1])]);
+        let summary = solver.preprocess();
+        assert!(summary.fixed >= 1, "probing should fix x0: {summary}");
+        assert_eq!(solver.solve(), SolveOutcome::Sat);
+        assert!(solver.model().unwrap().value(v[0]));
+    }
+
+    #[test]
+    fn bve_eliminates_and_reconstructs() {
+        // x1 is eliminable: (x0 ∨ x1) ∧ (¬x1 ∨ x2) resolves to (x0 ∨ x2).
+        let mut solver = Solver::new();
+        let v = vars(&mut solver, 3);
+        solver.add_clause([Lit::positive(v[0]), Lit::positive(v[1])]);
+        solver.add_clause([Lit::negative(v[1]), Lit::positive(v[2])]);
+        let summary = solver.preprocess();
+        assert!(summary.eliminated >= 1);
+        assert_eq!(solver.solve(), SolveOutcome::Sat);
+        let m = solver.model().unwrap();
+        // The reconstructed model must satisfy the *original* clauses.
+        assert!(m.value(v[0]) || m.value(v[1]));
+        assert!(!m.value(v[1]) || m.value(v[2]));
+    }
+
+    #[test]
+    fn pure_literals_are_eliminated() {
+        let mut solver = Solver::new();
+        let v = vars(&mut solver, 2);
+        solver.add_clause([Lit::positive(v[0]), Lit::positive(v[1])]);
+        let summary = solver.preprocess();
+        // Both variables are pure; eliminating either satisfies the clause.
+        assert!(summary.eliminated >= 1);
+        assert_eq!(solver.solve(), SolveOutcome::Sat);
+        let m = solver.model().unwrap();
+        assert!(m.value(v[0]) || m.value(v[1]));
+    }
+
+    #[test]
+    fn frozen_vars_survive_preprocessing() {
+        let mut solver = Solver::new();
+        let v = vars(&mut solver, 2);
+        solver.freeze_var(v[0]);
+        solver.freeze_var(v[1]);
+        solver.add_clause([Lit::positive(v[0]), Lit::positive(v[1])]);
+        let summary = solver.preprocess();
+        assert_eq!(summary.eliminated, 0);
+        assert!(solver.is_active_var(v[0]));
+        assert!(solver.is_active_var(v[1]));
+    }
+
+    #[test]
+    fn incremental_clause_restores_eliminated_var() {
+        let mut solver = Solver::new();
+        let v = vars(&mut solver, 3);
+        solver.add_clause([Lit::positive(v[0]), Lit::positive(v[1])]);
+        solver.add_clause([Lit::negative(v[1]), Lit::positive(v[2])]);
+        assert_eq!(solver.solve(), SolveOutcome::Sat);
+        // Force each variable in turn through blocking clauses; models must
+        // keep satisfying the original formula.
+        for _ in 0..4 {
+            let m = solver.model().unwrap().clone();
+            assert!(m.value(v[0]) || m.value(v[1]), "(x0 ∨ x1) violated");
+            assert!(!m.value(v[1]) || m.value(v[2]), "(¬x1 ∨ x2) violated");
+            let blocking: Vec<Lit> = v.iter().map(|&var| Lit::new(var, m.value(var))).collect();
+            solver.add_clause(blocking);
+            if solver.solve() == SolveOutcome::Unsat {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn blocking_clause_enumeration_counts_all_models() {
+        // Preprocessing must not change the *number* of models over the
+        // original variables when enumerating with blocking clauses.
+        let mut solver = Solver::new();
+        let v = vars(&mut solver, 3);
+        solver.add_clause([
+            Lit::positive(v[0]),
+            Lit::positive(v[1]),
+            Lit::positive(v[2]),
+        ]);
+        let mut count = 0;
+        while solver.solve() == SolveOutcome::Sat {
+            count += 1;
+            assert!(count <= 7, "enumerated too many models");
+            let m = solver.model().unwrap().clone();
+            let blocking: Vec<Lit> = v.iter().map(|&var| Lit::new(var, m.value(var))).collect();
+            solver.add_clause(blocking);
+        }
+        assert_eq!(count, 7);
+    }
+
+    #[test]
+    fn preprocess_is_idempotent_until_new_clauses() {
+        let mut solver = Solver::new();
+        let v = vars(&mut solver, 2);
+        solver.add_clause([Lit::positive(v[0]), Lit::positive(v[1])]);
+        let first = solver.preprocess();
+        assert!(first.rounds > 0);
+        let second = solver.preprocess();
+        assert_eq!(second.rounds, 0, "no new clauses, nothing to do");
+        solver.add_clause([Lit::negative(v[0]), Lit::positive(v[1])]);
+        let third = solver.preprocess();
+        assert!(third.rounds > 0);
+    }
+
+    #[test]
+    fn disabled_preprocessing_changes_nothing() {
+        let mut config = SolverConfig::default();
+        config.preprocess.enabled = false;
+        let mut solver = Solver::with_config(config);
+        let v = vars(&mut solver, 2);
+        solver.add_clause([Lit::positive(v[0]), Lit::positive(v[1])]);
+        let summary = solver.preprocess();
+        assert_eq!(summary, PreprocessSummary::default());
+        assert_eq!(solver.stats().pp_eliminated, 0);
+    }
+
+    #[test]
+    fn profile_reports_structure() {
+        let mut solver = Solver::new();
+        let v = vars(&mut solver, 4);
+        solver.freeze_var(v[3]);
+        solver.add_clause([Lit::positive(v[0]), Lit::positive(v[1])]);
+        solver.add_clause([Lit::negative(v[0]), Lit::positive(v[1])]);
+        solver.add_clause([
+            Lit::positive(v[1]),
+            Lit::positive(v[2]),
+            Lit::positive(v[3]),
+        ]);
+        let profile = solver.profile();
+        assert_eq!(profile.variables, 4);
+        assert_eq!(profile.clauses, 3);
+        assert_eq!(profile.binary_clauses, 2);
+        assert_eq!(profile.ternary_clauses, 1);
+        assert_eq!(profile.literals, 7);
+        assert_eq!(profile.frozen_variables, 1);
+        // x1, x2, x3 occur only positively.
+        assert_eq!(profile.pure_literals, 3);
+        assert_eq!(profile.size_histogram, vec![(2, 2), (3, 1)]);
+        let rendered = profile.to_string();
+        assert!(rendered.contains("clauses: 3"));
+    }
+
+    #[test]
+    fn preprocessing_agrees_with_brute_force_on_random_cnfs() {
+        // Differential test: preprocessing on vs. off must agree on
+        // satisfiability, and reconstructed models must satisfy the original
+        // clauses. Mirrors the xorshift harness used elsewhere in the crate.
+        let mut seed = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for instance in 0..40 {
+            let num_vars = 9;
+            let num_clauses = 30 + (next() % 15) as usize;
+            let mut clauses: Vec<Vec<(usize, bool)>> = Vec::new();
+            for _ in 0..num_clauses {
+                let len = 1 + (next() % 3) as usize;
+                let mut clause = Vec::new();
+                for _ in 0..len {
+                    clause.push(((next() % num_vars as u64) as usize, next() % 2 == 0));
+                }
+                clauses.push(clause);
+            }
+
+            let run = |enabled: bool| {
+                let mut config = SolverConfig::default();
+                config.preprocess.enabled = enabled;
+                let mut solver = Solver::with_config(config);
+                let vs: Vec<Var> = (0..num_vars).map(|_| solver.new_var()).collect();
+                for clause in &clauses {
+                    solver.add_clause(clause.iter().map(|&(v, neg)| Lit::new(vs[v], neg)));
+                }
+                let outcome = solver.solve();
+                let model = solver.model().cloned();
+                (outcome, model, vs)
+            };
+            let (on, on_model, vs) = run(true);
+            let (off, _, _) = run(false);
+            assert_eq!(on, off, "equisatisfiability violated (instance {instance})");
+            if let Some(m) = on_model {
+                for clause in &clauses {
+                    assert!(
+                        clause.iter().any(|&(v, neg)| m.value(vs[v]) != neg),
+                        "reconstructed model violates original clause (instance {instance})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn summary_display_mentions_counts() {
+        let summary = PreprocessSummary {
+            rounds: 2,
+            fixed: 3,
+            eliminated: 4,
+            ..PreprocessSummary::default()
+        };
+        let s = summary.to_string();
+        assert!(s.contains("rounds=2"));
+        assert!(s.contains("fixed=3"));
+        assert!(s.contains("eliminated=4"));
+    }
+}

@@ -5,6 +5,7 @@ use crate::clause::{Clause, ClauseDb, ClauseRef};
 use crate::heap::ActivityHeap;
 use crate::literal::{Lit, Var};
 use crate::model::Model;
+use crate::preprocess::{ElimEntry, PreprocessConfig, VarState};
 use crate::stats::SolverStats;
 use crate::theory::{NullTheory, Theory, TheoryResult};
 
@@ -28,6 +29,9 @@ pub struct SolverConfig {
     /// Enable learnt-clause database reduction (exposed for the ablation
     /// benchmarks).
     pub reduce_db: bool,
+    /// Static preprocessing pipeline configuration (see
+    /// [`crate::PreprocessConfig`]).
+    pub preprocess: PreprocessConfig,
 }
 
 impl Default for SolverConfig {
@@ -40,6 +44,7 @@ impl Default for SolverConfig {
             max_conflicts: None,
             use_vsids: true,
             reduce_db: true,
+            preprocess: PreprocessConfig::default(),
         }
     }
 }
@@ -100,6 +105,18 @@ pub struct Solver {
     pub(crate) model: Option<Model>,
     /// How far along the trail the theory has been notified.
     pub(crate) theory_head: usize,
+    /// Variables protected from elimination/substitution (theory atoms).
+    pub(crate) frozen: Vec<bool>,
+    /// Preprocessing lifecycle state per variable.
+    pub(crate) var_state: Vec<VarState>,
+    /// Image of the positive literal for substituted variables.
+    pub(crate) subst: Vec<Lit>,
+    /// Model-reconstruction stack (replayed newest-first).
+    pub(crate) elim_stack: Vec<ElimEntry>,
+    /// Stored clauses of eliminated variables, for incremental restoration.
+    pub(crate) restore_clauses: Vec<Vec<Vec<Lit>>>,
+    /// Whether clauses arrived since the last preprocessing run.
+    pub(crate) pp_dirty: bool,
 }
 
 impl Default for Solver {
@@ -144,6 +161,12 @@ impl Solver {
             seen: Vec::new(),
             model: None,
             theory_head: 0,
+            frozen: Vec::new(),
+            var_state: Vec::new(),
+            subst: Vec::new(),
+            elim_stack: Vec::new(),
+            restore_clauses: Vec::new(),
+            pp_dirty: false,
         }
     }
 
@@ -162,6 +185,10 @@ impl Solver {
         self.reasons.push(None);
         self.phases.push(false);
         self.seen.push(false);
+        self.frozen.push(false);
+        self.var_state.push(VarState::Active);
+        self.subst.push(Lit::positive(var));
+        self.restore_clauses.push(Vec::new());
         self.heap.grow_to(self.num_vars());
         self.stats.variables += 1;
         var
@@ -185,8 +212,26 @@ impl Solver {
             self.cancel_until(0);
         }
         self.model = None;
+        self.add_clause_internal(lits.into_iter().collect(), true)
+    }
 
-        let mut lits: Vec<Lit> = lits.into_iter().collect();
+    /// Shared clause-ingestion path. Maps literals through the preprocessing
+    /// substitution table, restores eliminated variables the clause mentions,
+    /// and simplifies against the top-level assignment. `count_stats` is
+    /// `false` for internal re-additions (restored clauses), which must not
+    /// inflate the user-facing problem-size counters.
+    pub(crate) fn add_clause_internal(&mut self, lits: Vec<Lit>, count_stats: bool) -> bool {
+        self.pp_dirty = true;
+        let mut lits: Vec<Lit> = lits
+            .into_iter()
+            .map(|lit| self.resolve_subst(lit))
+            .collect();
+        for lit in &lits {
+            let var = lit.var();
+            if self.var_state[var.index()] == VarState::Eliminated {
+                self.restore_var(var);
+            }
+        }
         lits.sort_unstable();
         lits.dedup();
 
@@ -204,8 +249,10 @@ impl Solver {
             }
         }
 
-        self.stats.clauses += 1;
-        self.stats.literals += simplified.len() as u64;
+        if count_stats {
+            self.stats.clauses += 1;
+            self.stats.literals += simplified.len() as u64;
+        }
 
         match simplified.len() {
             0 => {
@@ -319,7 +366,9 @@ impl Solver {
     pub(crate) fn pick_branch_lit(&mut self) -> Option<Lit> {
         if self.config.use_vsids {
             while let Some(var) = self.heap.pop_max() {
-                if self.assignment.value_var(var) == LBool::Undef {
+                if self.assignment.value_var(var) == LBool::Undef
+                    && self.var_state[var.index()] == VarState::Active
+                {
                     return Some(Lit::new(var, !self.phases[var.index()]));
                 }
             }
@@ -327,7 +376,10 @@ impl Solver {
         } else {
             (0..self.num_vars())
                 .map(|i| Var::from_index(i as u32))
-                .find(|&v| self.assignment.value_var(v) == LBool::Undef)
+                .find(|&v| {
+                    self.assignment.value_var(v) == LBool::Undef
+                        && self.var_state[v.index()] == VarState::Active
+                })
                 .map(|v| Lit::new(v, !self.phases[v.index()]))
         }
     }
@@ -347,6 +399,13 @@ impl Solver {
         self.cancel_until(0);
         theory.backtrack_to(0);
 
+        if self.config.preprocess.enabled && self.pp_dirty {
+            self.preprocess();
+            if !self.ok {
+                return SolveOutcome::Unsat;
+            }
+        }
+
         let start_conflicts = self.stats.conflicts;
         let mut restart_count: u64 = 0;
         let mut learnt_limit = self.config.learnt_limit;
@@ -355,11 +414,15 @@ impl Solver {
             let budget = crate::reduce::luby(restart_count) * self.config.restart_interval;
             match self.search(theory, budget, &mut learnt_limit, start_conflicts) {
                 SearchResult::Sat => {
-                    let values: Vec<bool> = (0..self.num_vars())
+                    let mut values: Vec<bool> = (0..self.num_vars())
                         .map(|i| {
                             self.assignment.value_var(Var::from_index(i as u32)) == LBool::True
                         })
                         .collect();
+                    // Extend the assignment over eliminated/substituted
+                    // variables before anyone (including the theory's final
+                    // check) reads the model.
+                    self.reconstruct_model(&mut values);
                     let model = Model::from_values(values);
                     // Give the theory a last chance to veto the assignment.
                     match theory.final_check(&model) {

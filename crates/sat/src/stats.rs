@@ -22,6 +22,24 @@ pub struct SolverStats {
     /// Total number of literal occurrences over the problem clauses added
     /// (the paper's "# Literals" metric).
     pub literals: u64,
+    /// Preprocessing rounds executed (`pp.rounds`).
+    pub pp_rounds: u64,
+    /// Literals fixed at the top level by preprocessing (`pp.fixed`).
+    pub pp_fixed: u64,
+    /// Variables substituted by an equivalent literal (`pp.equivalences`).
+    pub pp_equivalences: u64,
+    /// Clauses removed by subsumption (`pp.subsumed`).
+    pub pp_subsumed: u64,
+    /// Literals removed by self-subsuming resolution (`pp.strengthened`).
+    pub pp_strengthened: u64,
+    /// Variables removed by bounded variable elimination (`pp.eliminated`).
+    pub pp_eliminated: u64,
+    /// Resolvent clauses added by variable elimination (`pp.resolvents`).
+    pub pp_resolvents: u64,
+    /// Failed-literal probes attempted (`pp.probes`).
+    pub pp_probes: u64,
+    /// Eliminated variables restored by incremental clauses (`pp.restored`).
+    pub pp_restored: u64,
 }
 
 impl SolverStats {
@@ -47,6 +65,15 @@ impl SolverStats {
             variables: self.variables.saturating_sub(earlier.variables),
             clauses: self.clauses.saturating_sub(earlier.clauses),
             literals: self.literals.saturating_sub(earlier.literals),
+            pp_rounds: self.pp_rounds.saturating_sub(earlier.pp_rounds),
+            pp_fixed: self.pp_fixed.saturating_sub(earlier.pp_fixed),
+            pp_equivalences: self.pp_equivalences.saturating_sub(earlier.pp_equivalences),
+            pp_subsumed: self.pp_subsumed.saturating_sub(earlier.pp_subsumed),
+            pp_strengthened: self.pp_strengthened.saturating_sub(earlier.pp_strengthened),
+            pp_eliminated: self.pp_eliminated.saturating_sub(earlier.pp_eliminated),
+            pp_resolvents: self.pp_resolvents.saturating_sub(earlier.pp_resolvents),
+            pp_probes: self.pp_probes.saturating_sub(earlier.pp_probes),
+            pp_restored: self.pp_restored.saturating_sub(earlier.pp_restored),
         }
     }
 
@@ -62,7 +89,8 @@ impl std::fmt::Display for SolverStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "vars={} clauses={} literals={} decisions={} propagations={} conflicts={} (theory {}) restarts={} deleted={}",
+            "vars={} clauses={} literals={} decisions={} propagations={} conflicts={} (theory {}) restarts={} deleted={} \
+             pp[rounds={} fixed={} equiv={} subsumed={} strengthened={} eliminated={} resolvents={} probes={} restored={}]",
             self.variables,
             self.clauses,
             self.literals,
@@ -71,7 +99,16 @@ impl std::fmt::Display for SolverStats {
             self.conflicts,
             self.theory_conflicts,
             self.restarts,
-            self.deleted_clauses
+            self.deleted_clauses,
+            self.pp_rounds,
+            self.pp_fixed,
+            self.pp_equivalences,
+            self.pp_subsumed,
+            self.pp_strengthened,
+            self.pp_eliminated,
+            self.pp_resolvents,
+            self.pp_probes,
+            self.pp_restored
         )
     }
 }
@@ -92,6 +129,8 @@ mod tests {
             variables: 7,
             clauses: 8,
             literals: 9,
+            pp_eliminated: 10,
+            ..SolverStats::default()
         };
         let s = stats.to_string();
         for needle in [
@@ -100,6 +139,7 @@ mod tests {
             "literals=9",
             "conflicts=3",
             "theory 4",
+            "eliminated=10",
         ] {
             assert!(s.contains(needle), "missing {needle} in {s}");
         }
@@ -117,6 +157,8 @@ mod tests {
             variables: 7,
             clauses: 8,
             literals: 90,
+            pp_eliminated: 2,
+            ..SolverStats::default()
         };
         let later = SolverStats {
             decisions: 15,
@@ -128,8 +170,11 @@ mod tests {
             variables: 7,
             clauses: 10,
             literals: 95,
+            pp_eliminated: 5,
+            ..SolverStats::default()
         };
         let delta = later.diff(&earlier);
+        assert_eq!(delta.pp_eliminated, 3);
         assert_eq!(delta.decisions, 5);
         assert_eq!(delta.propagations, 9);
         assert_eq!(delta.conflicts, 1);

@@ -1,0 +1,128 @@
+//! Property-based tests of the preprocessing pipeline: for arbitrary CNF
+//! formulas, preprocessing must be equisatisfiable and the reconstructed
+//! models must satisfy every original clause.
+
+use proptest::prelude::*;
+
+use isopredict_sat::{Lit, SolveOutcome, Solver, SolverConfig, Var};
+
+/// Raw clause material: variable indices are reduced modulo the instance's
+/// variable count when the formula is built (the vendored proptest has no
+/// `prop_flat_map`, so sizes and contents are drawn independently).
+fn cnf_strategy() -> impl Strategy<Value = (usize, Vec<Vec<(u8, bool)>>)> {
+    (
+        3usize..9,
+        prop::collection::vec(prop::collection::vec((0u8..32, any::<bool>()), 1..4), 1..24),
+    )
+}
+
+/// Reduces raw clause material to in-range variable indices.
+fn normalize(num_vars: usize, raw: &[Vec<(u8, bool)>]) -> Vec<Vec<(u8, bool)>> {
+    raw.iter()
+        .map(|clause| {
+            clause
+                .iter()
+                .map(|&(v, neg)| (v % num_vars as u8, neg))
+                .collect()
+        })
+        .collect()
+}
+
+fn build(num_vars: usize, clauses: &[Vec<(u8, bool)>], preprocess: bool) -> Solver {
+    let mut config = SolverConfig::default();
+    config.preprocess.enabled = preprocess;
+    let mut solver = Solver::with_config(config);
+    let vars: Vec<Var> = (0..num_vars).map(|_| solver.new_var()).collect();
+    for clause in clauses {
+        solver.add_clause(
+            clause
+                .iter()
+                .map(|&(v, neg)| Lit::new(vars[v as usize], neg)),
+        );
+    }
+    solver
+}
+
+fn check_model(
+    solver: &Solver,
+    clauses: &[Vec<(u8, bool)>],
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    let model = solver.model().expect("sat outcome has a model");
+    for (index, clause) in clauses.iter().enumerate() {
+        prop_assert!(
+            clause
+                .iter()
+                .any(|&(v, neg)| model.value(Var::from_index(u32::from(v))) != neg),
+            "model violates original clause {}: {:?}",
+            index,
+            clause
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Preprocessing (UP, equivalent literals, subsumption, strengthening,
+    /// probing, variable elimination) must never change satisfiability, and
+    /// models must reconstruct through the elimination stack to assignments
+    /// that satisfy the *original* formula.
+    #[test]
+    fn preprocessing_is_equisatisfiable_and_models_reconstruct(
+        (num_vars, raw) in cnf_strategy()
+    ) {
+        let clauses = normalize(num_vars, &raw);
+        let mut plain = build(num_vars, &clauses, false);
+        let mut preprocessed = build(num_vars, &clauses, true);
+        let plain_outcome = plain.solve();
+        let pp_outcome = preprocessed.solve();
+        prop_assert_eq!(plain_outcome, pp_outcome, "preprocessing changed the verdict");
+        if pp_outcome == SolveOutcome::Sat {
+            check_model(&plain, &clauses)?;
+            check_model(&preprocessed, &clauses)?;
+        }
+    }
+
+    /// Incremental use after preprocessing: adding clauses that mention
+    /// eliminated or substituted variables must transparently restore them,
+    /// and re-solving must stay correct against a from-scratch solver.
+    #[test]
+    fn incremental_clauses_after_preprocessing_stay_correct(
+        (num_vars, raw) in cnf_strategy(),
+        extra_raw in prop::collection::vec(
+            prop::collection::vec((0u8..32, any::<bool>()), 1..3),
+            1..4,
+        ),
+    ) {
+        let clauses = normalize(num_vars, &raw);
+        let extra = normalize(num_vars, &extra_raw);
+
+        let mut preprocessed = build(num_vars, &clauses, true);
+        let first = preprocessed.solve();
+
+        // Reference: a fresh solver over the combined formula, no pp.
+        let mut combined = clauses.clone();
+        combined.extend(extra.iter().cloned());
+        let mut reference = build(num_vars, &combined, false);
+        let reference_outcome = reference.solve();
+
+        if first == SolveOutcome::Unsat {
+            // Adding clauses cannot make an unsat formula sat.
+            prop_assert_eq!(reference_outcome, SolveOutcome::Unsat);
+            return Ok(());
+        }
+        for clause in &extra {
+            preprocessed.add_clause(
+                clause
+                    .iter()
+                    .map(|&(v, neg)| Lit::new(Var::from_index(u32::from(v)), neg)),
+            );
+        }
+        let second = preprocessed.solve();
+        prop_assert_eq!(second, reference_outcome, "incremental resolve disagrees");
+        if second == SolveOutcome::Sat {
+            check_model(&preprocessed, &combined)?;
+        }
+    }
+}

@@ -2,7 +2,9 @@
 
 use std::collections::HashMap;
 
-use isopredict_sat::{Lit, SolveOutcome, Solver as SatSolver, SolverConfig, SolverStats};
+use isopredict_sat::{
+    Lit, PreprocessSummary, SolveOutcome, Solver as SatSolver, SolverConfig, SolverStats,
+};
 
 use crate::fd::{FdVar, FdVarData};
 use crate::order::{topological_positions, OrderNode, OrderTheory};
@@ -217,6 +219,11 @@ impl SmtSolver {
         let term = self.pool.intern(Term::Less(left, right));
         if !self.lit_of.contains_key(&term) {
             let var = self.sat.new_var();
+            // Theory atoms carry semantics the clause-level preprocessor
+            // cannot see (two distinct atoms are never interchangeable even
+            // if propositionally equivalent), so they must never be
+            // eliminated or substituted away.
+            self.sat.freeze_var(var);
             self.lit_of.insert(term, Lit::positive(var));
             self.theory.register_atom(var, left, right);
         }
@@ -320,6 +327,19 @@ impl SmtSolver {
         }
     }
 
+    /// Enables or disables SAT-core preprocessing (enabled by default).
+    pub fn set_preprocessing(&mut self, enabled: bool) {
+        self.sat.config_mut().preprocess.enabled = enabled;
+    }
+
+    /// Runs SAT-core preprocessing immediately (it otherwise runs at the
+    /// start of [`SmtSolver::check`]); exposed so callers can time it under
+    /// a dedicated observability span. Idempotent until new assertions
+    /// arrive.
+    pub fn preprocess(&mut self) -> PreprocessSummary {
+        self.sat.preprocess()
+    }
+
     /// Truth value of a term in the current model. Returns `None` if there is
     /// no model or the term never reached the SAT core (e.g. it was simplified
     /// away and not asserted).
@@ -356,6 +376,8 @@ impl SmtSolver {
     pub fn model_order_positions(&self) -> Option<Vec<usize>> {
         let model = self.sat.model()?;
         let mut edges = Vec::new();
+        // detlint: allow(hash-iter) — the edges are sorted below, so the
+        // HashMap iteration order cannot leak into the result.
         for (term, lit) in &self.lit_of {
             if let Term::Less(a, b) = self.pool.get(*term) {
                 if model.lit_value(*lit) {
@@ -363,6 +385,10 @@ impl SmtSolver {
                 }
             }
         }
+        // Kahn's algorithm tie-breaks by edge insertion order; sort so the
+        // positions are a deterministic function of the model.
+        edges.sort_unstable();
+        edges.dedup();
         topological_positions(self.theory.num_nodes(), &edges)
     }
 
@@ -466,6 +492,9 @@ mod tests {
     #[test]
     fn conflict_budget_reports_unknown() {
         let mut smt = SmtSolver::new();
+        // Preprocessing (variable elimination) proves this instance outright;
+        // disable it so the check actually spends conflicts in search.
+        smt.set_preprocessing(false);
         smt.set_conflict_budget(Some(1));
         // Pigeonhole-style FD problem: 4 variables over 3 values, all distinct.
         let vars: Vec<FdVar> = (0..4).map(|i| smt.fd_var(format!("p{i}"), 3)).collect();

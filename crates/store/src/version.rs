@@ -72,9 +72,11 @@ impl VersionedStore {
         self.versions(key).iter().find(|v| v.writer == writer)
     }
 
-    /// Every key that has at least one version.
+    /// Every key that has at least one version, in no particular order.
     #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn keys(&self) -> impl Iterator<Item = &str> {
+        // detlint: allow(hash-iter) — test-only accessor; callers count or
+        // sort, never depend on the order.
         self.versions.keys().map(String::as_str)
     }
 }
