@@ -96,6 +96,12 @@ pub struct PredictorConfig {
     /// disable to measure raw search or to rule preprocessing out when
     /// debugging a prediction.
     pub preprocess: bool,
+    /// Emit a solver progress heartbeat every this many conflicts (0
+    /// disables). Heartbeats flow through the obs event stream (schema v2)
+    /// and feed the bounded ring retained for `unknown` post-mortems; they
+    /// are stream-only telemetry and never touch the deterministic report
+    /// half.
+    pub heartbeat_every: u64,
 }
 
 impl Default for PredictorConfig {
@@ -107,6 +113,7 @@ impl Default for PredictorConfig {
             max_exact_candidates: 256,
             require_change: true,
             preprocess: true,
+            heartbeat_every: 10_000,
         }
     }
 }
@@ -133,5 +140,6 @@ mod tests {
         assert!(config.require_change);
         assert!(config.preprocess);
         assert!(config.max_exact_candidates > 0);
+        assert_eq!(config.heartbeat_every, 10_000);
     }
 }

@@ -4,8 +4,8 @@
 use std::time::{Duration, Instant};
 
 use isopredict_history::{serializability, History, TxnId};
-use isopredict_obs::Obs;
-use isopredict_smt::{SmtResult, SolverStats, TermId};
+use isopredict_obs::{HeartbeatSample, Obs};
+use isopredict_smt::{Heartbeat, SmtResult, SmtSolver, SolverPostmortem, SolverStats, TermId};
 
 use crate::config::{PredictorConfig, Strategy};
 use crate::encode::Encoder;
@@ -34,7 +34,13 @@ pub enum PredictionOutcome {
     },
     /// The solver budget was exhausted (the analogue of the paper's
     /// "T/O"/"Unk" column).
-    Unknown,
+    Unknown {
+        /// The solver's flight-recorder post-mortem — final per-family
+        /// conflict attribution plus the retained heartbeat ring — when one
+        /// was captured. Non-deterministic-half data only: it explains where
+        /// the budget went, never what the verdict would have been.
+        postmortem: Option<Box<SolverPostmortem>>,
+    },
 }
 
 impl PredictionOutcome {
@@ -62,7 +68,16 @@ impl PredictionOutcome {
     /// Whether the solver gave up before reaching a decision.
     #[must_use]
     pub fn is_unknown(&self) -> bool {
-        matches!(self, PredictionOutcome::Unknown)
+        matches!(self, PredictionOutcome::Unknown { .. })
+    }
+
+    /// The flight-recorder post-mortem attached to an `Unknown` outcome.
+    #[must_use]
+    pub fn postmortem(&self) -> Option<&SolverPostmortem> {
+        match self {
+            PredictionOutcome::Unknown { postmortem } => postmortem.as_deref(),
+            _ => None,
+        }
     }
 }
 
@@ -145,8 +160,10 @@ impl Predictor {
         let encode_obs = encode_span.obs();
         let mut encoder = Encoder::new(observed, self.config.strategy.boundary());
         encoder.smt.set_preprocessing(self.config.preprocess);
+        let families = self.intern_families(&mut encoder.smt);
         {
             let _feasibility = encode_obs.span("feasibility");
+            encoder.smt.set_clause_family(families.feasibility);
             encoder.encode_feasibility();
             if self.config.require_change {
                 encoder.encode_require_change();
@@ -154,16 +171,19 @@ impl Predictor {
         }
         {
             let _isolation = encode_obs.span("isolation");
+            encoder.smt.set_clause_family(families.isolation);
             encoder.encode_isolation(self.config.isolation);
         }
         let symbols = {
             let _unser = encode_obs.span("unserializability");
+            encoder.smt.set_clause_family(families.unserializability);
             encoder.encode_approx_unserializability()
         };
         count_encoding_size(obs, &encoder.smt.solver_stats());
         encode_span.finish();
         let constraint_gen_time = gen_start.elapsed();
         encoder.smt.set_conflict_budget(self.config.conflict_budget);
+        install_heartbeat_bridge(&mut encoder.smt, obs, self.config.heartbeat_every);
 
         let before = encoder.smt.solver_stats();
         // detlint: allow(wall-clock) — solving_time is non-deterministic-half data.
@@ -184,7 +204,9 @@ impl Predictor {
             SmtResult::Unsat => PredictionOutcome::NoPrediction {
                 reason: NoPredictionReason::Unsatisfiable,
             },
-            SmtResult::Unknown => PredictionOutcome::Unknown,
+            SmtResult::Unknown => PredictionOutcome::Unknown {
+                postmortem: Some(Box::new(encoder.smt.solver_postmortem())),
+            },
             SmtResult::Sat => {
                 let (predicted, boundaries, changed_reads) = extract(&encoder, observed);
                 // Recover the pco cycle that witnesses unserializability.
@@ -223,8 +245,10 @@ impl Predictor {
         let encode_obs = encode_span.obs();
         let mut encoder = Encoder::new(observed, self.config.strategy.boundary());
         encoder.smt.set_preprocessing(self.config.preprocess);
+        let families = self.intern_families(&mut encoder.smt);
         {
             let _feasibility = encode_obs.span("feasibility");
+            encoder.smt.set_clause_family(families.feasibility);
             encoder.encode_feasibility();
             if self.config.require_change {
                 encoder.encode_require_change();
@@ -232,19 +256,23 @@ impl Predictor {
         }
         {
             let _isolation = encode_obs.span("isolation");
+            encoder.smt.set_clause_family(families.isolation);
             encoder.encode_isolation(self.config.isolation);
         }
         count_encoding_size(obs, &encoder.smt.solver_stats());
         encode_span.finish();
         let constraint_gen_time = gen_start.elapsed();
         encoder.smt.set_conflict_budget(self.config.conflict_budget);
+        install_heartbeat_bridge(&mut encoder.smt, obs, self.config.heartbeat_every);
 
         let mut solving_time = Duration::ZERO;
         let mut candidates_examined = 0usize;
 
         loop {
             if candidates_examined >= self.config.max_exact_candidates {
-                return PredictionOutcome::Unknown;
+                return PredictionOutcome::Unknown {
+                    postmortem: Some(Box::new(encoder.smt.solver_postmortem())),
+                };
             }
             let before = encoder.smt.solver_stats();
             // detlint: allow(wall-clock) — solving_time is non-deterministic-half data.
@@ -264,7 +292,11 @@ impl Predictor {
             count_solver_work(obs, &encoder.smt.solver_stats().diff(&before));
 
             match result {
-                SmtResult::Unknown => return PredictionOutcome::Unknown,
+                SmtResult::Unknown => {
+                    return PredictionOutcome::Unknown {
+                        postmortem: Some(Box::new(encoder.smt.solver_postmortem())),
+                    }
+                }
                 SmtResult::Unsat => {
                     let reason = if candidates_examined == 0 {
                         NoPredictionReason::Unsatisfiable
@@ -294,11 +326,25 @@ impl Predictor {
                             pco_cycle: None,
                         }));
                     }
-                    // Block this candidate and continue searching.
+                    // Block this candidate and continue searching. The
+                    // blocking clauses are the exact strategy's
+                    // unserializability condition, so tag them as such.
                     let blocking = self.blocking_clause(&mut encoder);
+                    encoder.smt.set_clause_family(families.unserializability);
                     encoder.smt.assert_term(blocking);
                 }
             }
+        }
+    }
+
+    /// Interns the predictor's axiom families in the solver so every clause
+    /// each encode phase emits carries its provenance through conflict
+    /// analysis (the flight recorder's "which axioms are we fighting" data).
+    fn intern_families(&self, smt: &mut SmtSolver) -> AxiomFamilies {
+        AxiomFamilies {
+            feasibility: smt.intern_clause_family("feasibility"),
+            isolation: smt.intern_clause_family(&format!("isolation:{}", self.config.isolation)),
+            unserializability: smt.intern_clause_family("unserializability"),
         }
     }
 
@@ -325,6 +371,60 @@ impl Predictor {
         }
         encoder.smt.or(literals)
     }
+}
+
+/// The clause-family ids of one prediction's axiom groups.
+#[derive(Debug, Clone, Copy)]
+struct AxiomFamilies {
+    feasibility: u16,
+    isolation: u16,
+    unserializability: u16,
+}
+
+/// Configures the solver's heartbeat interval and, when telemetry is on,
+/// installs the hook that turns the solver's count-only heartbeats into
+/// schema-v2 obs events. The bridge — not the solver — owns the wall clock,
+/// so the SAT core stays deterministic and obs-free: it reports counts, and
+/// the rate is computed here from the time between samples.
+fn install_heartbeat_bridge(smt: &mut SmtSolver, obs: &Obs, every: u64) {
+    smt.set_heartbeat_every(every);
+    if every == 0 || !obs.is_enabled() {
+        smt.set_heartbeat_hook(None);
+        return;
+    }
+    let obs = obs.clone();
+    let families: Vec<String> = smt.clause_families().to_vec();
+    let mut last: Option<(Instant, u64)> = None;
+    smt.set_heartbeat_hook(Some(Box::new(move |hb: &Heartbeat| {
+        // detlint: allow(wall-clock) — heartbeat rates are stream-only
+        // telemetry (the non-deterministic half); verdicts never read them.
+        let now = Instant::now();
+        let conflicts_per_sec = match last {
+            Some((at, conflicts)) => {
+                let dt = now.duration_since(at).as_secs_f64();
+                let dc = hb.conflicts.saturating_sub(conflicts) as f64;
+                if dt > 0.0 {
+                    dc / dt
+                } else {
+                    0.0
+                }
+            }
+            None => 0.0,
+        };
+        last = Some((now, hb.conflicts));
+        obs.heartbeat(HeartbeatSample {
+            hb_seq: hb.seq,
+            conflicts: hb.conflicts,
+            conflicts_per_sec,
+            restarts: hb.restarts,
+            trail_depth: hb.trail_depth,
+            learnt_clauses: hb.learnt_clauses,
+            vars_assigned_at_root: hb.vars_assigned_at_root,
+            total_vars: hb.total_vars,
+            families: families.clone(),
+            conflicts_by_family: hb.conflicts_by_family.clone(),
+        });
+    })));
 }
 
 /// The deterministic `result` label attached to each `solve` span.
@@ -618,5 +718,64 @@ mod tests {
         });
         let outcome = predictor.predict(&observed);
         assert!(outcome.is_unknown() || outcome.is_prediction());
+        if outcome.is_unknown() {
+            let pm = outcome.postmortem().expect("unknown carries a post-mortem");
+            assert_eq!(pm.budget, Some(1));
+        }
+    }
+
+    #[test]
+    fn exhausted_exact_search_attaches_a_postmortem() {
+        let observed = deposit_withdraw_deposit();
+        let exact = Predictor::new(PredictorConfig {
+            strategy: Strategy::ExactStrict,
+            isolation: IsolationLevel::Causal,
+            max_exact_candidates: 0,
+            ..PredictorConfig::default()
+        });
+        let outcome = exact.predict(&observed);
+        assert!(outcome.is_unknown());
+        let pm = outcome.postmortem().expect("unknown carries a post-mortem");
+        assert_eq!(pm.attribution.total_conflicts(), pm.stats.conflicts);
+        for family in ["feasibility", "isolation:causal", "unserializability"] {
+            assert!(
+                pm.attribution.families.iter().any(|f| f == family),
+                "family {family} must be interned, got {:?}",
+                pm.attribution.families
+            );
+        }
+        // A non-unknown outcome exposes no post-mortem.
+        let sat = predictor(Strategy::ApproxRelaxed, IsolationLevel::Causal).predict(&observed);
+        assert!(sat.postmortem().is_none());
+    }
+
+    #[test]
+    fn heartbeats_stream_as_schema_v2_events() {
+        use isopredict_obs::{validate_stream, BufferSink, Registry};
+
+        let observed = deposit_withdraw_deposit();
+        let sink = BufferSink::new();
+        let registry = Registry::with_sink(Box::new(sink.clone()));
+        let predictor = Predictor::new(PredictorConfig {
+            strategy: Strategy::ApproxRelaxed,
+            isolation: IsolationLevel::Causal,
+            heartbeat_every: 1,
+            preprocess: false,
+            ..PredictorConfig::default()
+        });
+        let outcome = predictor.predict_obs(&observed, &registry.obs());
+        assert!(!outcome.is_unknown());
+        registry.flush();
+        let summary = validate_stream(&sink.contents()).expect("stream validates");
+        assert_eq!(summary.schema, 2);
+        // Any conflict the solve needed produced a heartbeat; the validator
+        // has already checked each one's family partition sums to its
+        // conflict counter.
+        let conflicts = registry.snapshot().counter("solver.conflicts");
+        assert!(
+            summary.heartbeats as u64 <= conflicts || conflicts == 0,
+            "{} heartbeats from {conflicts} conflicts",
+            summary.heartbeats
+        );
     }
 }

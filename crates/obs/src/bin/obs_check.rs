@@ -40,11 +40,13 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
             println!(
-                "obs_check: {path}: {} events OK ({} spans, {} counter updates, {} gauge updates)",
+                "obs_check: {path}: {} events OK, schema v{} ({} spans, {} counter updates, {} gauge updates, {} heartbeats)",
                 summary.events,
+                summary.schema,
                 summary.spans_finished,
                 summary.counter_updates,
-                summary.gauge_updates
+                summary.gauge_updates,
+                summary.heartbeats
             );
             ExitCode::SUCCESS
         }

@@ -19,7 +19,14 @@
 use serde::{Deserialize, Serialize};
 
 /// Version of the JSONL schema, carried by the `run_start` event.
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// v2 added the `heartbeat` event kind (solver progress samples with
+/// per-family conflict attribution). v1 streams are still accepted by
+/// [`validate_stream`] read-only; they may not contain v2-only event kinds.
+pub const SCHEMA_VERSION: u64 = 2;
+
+/// Oldest schema version [`validate_stream`] still accepts.
+pub const MIN_SCHEMA_VERSION: u64 = 1;
 
 /// One span label on the wire.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -89,6 +96,35 @@ pub enum ObsEvent {
         /// The new value.
         value: u64,
     },
+    /// A solver progress sample (schema v2): emitted every N conflicts while
+    /// a solve call runs, carrying counter deltas and the per-family conflict
+    /// attribution so a budget-exhausted `unknown` is legible after the fact.
+    Heartbeat {
+        /// Monotonic sequence number.
+        seq: u64,
+        /// Offset from the registry epoch, in microseconds.
+        at_us: u64,
+        /// Heartbeat ordinal *within the solve call*, counting from 1.
+        hb_seq: u64,
+        /// Conflicts recorded by the solver so far.
+        conflicts: u64,
+        /// Conflict rate since the previous heartbeat (0.0 on the first).
+        conflicts_per_sec: f64,
+        /// Restarts so far.
+        restarts: u64,
+        /// Current assignment trail depth.
+        trail_depth: u64,
+        /// Learnt clauses currently in the database.
+        learnt_clauses: u64,
+        /// Variables fixed at decision level 0.
+        vars_assigned_at_root: u64,
+        /// Total variables in the solver.
+        total_vars: u64,
+        /// Clause-family names, parallel to `conflicts_by_family`.
+        families: Vec<String>,
+        /// Per-family conflict partition (sums to `conflicts`).
+        conflicts_by_family: Vec<u64>,
+    },
 }
 
 impl ObsEvent {
@@ -100,10 +136,21 @@ impl ObsEvent {
             ObsEvent::SpanStart { seq, .. }
             | ObsEvent::SpanEnd { seq, .. }
             | ObsEvent::Counter { seq, .. }
-            | ObsEvent::Gauge { seq, .. } => Some(*seq),
+            | ObsEvent::Gauge { seq, .. }
+            | ObsEvent::Heartbeat { seq, .. } => Some(*seq),
         }
     }
 }
+
+/// Every event kind the current schema knows, as it appears on the wire.
+const KNOWN_KINDS: [&str; 6] = [
+    "run_start",
+    "span_start",
+    "span_end",
+    "counter",
+    "gauge",
+    "heartbeat",
+];
 
 /// A defect found while validating an event stream.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -135,13 +182,20 @@ pub struct StreamSummary {
     pub counter_updates: usize,
     /// Gauge updates.
     pub gauge_updates: usize,
+    /// Solver heartbeats (schema v2 streams only).
+    pub heartbeats: usize,
+    /// The schema version the stream declared.
+    pub schema: u64,
 }
 
 /// Validates a JSONL event stream against the schema and its structural
-/// invariants: the first line is a `run_start` with a known schema version,
-/// every line parses, sequence numbers strictly increase, span ids are unique,
-/// parents and ends refer to spans that already started, and no span ends
-/// twice. Returns a content summary on success.
+/// invariants: the first line is a `run_start` with a supported schema
+/// version (v1 streams are accepted read-only), every line parses and names a
+/// known event kind, sequence numbers strictly increase, span ids are unique,
+/// parents and ends refer to spans that already started, no span ends twice,
+/// and heartbeat conflict partitions sum to their conflict counts. v2-only
+/// event kinds inside a stream that declared schema 1 are rejected. Returns a
+/// content summary on success.
 ///
 /// # Errors
 ///
@@ -160,15 +214,31 @@ pub fn validate_stream(text: &str) -> Result<StreamSummary, StreamError> {
         if line.trim().is_empty() {
             return Err(error("blank line in event stream".to_string()));
         }
+        // Look at the raw `type` tag first so an unrecognized kind gets a
+        // precise diagnostic instead of a generic enum-parse failure.
+        let raw: serde::Content = serde_json::from_str(line)
+            .map_err(|parse| error(format!("not a valid event: {parse}")))?;
+        match raw.get("type").as_str() {
+            None => return Err(error("event has no `type` field".to_string())),
+            Some(kind) if !KNOWN_KINDS.contains(&kind) => {
+                return Err(error(format!("unknown event kind `{kind}`")))
+            }
+            Some(_) => {}
+        }
         let event: ObsEvent = serde_json::from_str(line)
             .map_err(|parse| error(format!("not a valid event: {parse}")))?;
         summary.events += 1;
         if index == 0 {
             match event {
-                ObsEvent::RunStart { schema } if schema == SCHEMA_VERSION => continue,
+                ObsEvent::RunStart { schema }
+                    if (MIN_SCHEMA_VERSION..=SCHEMA_VERSION).contains(&schema) =>
+                {
+                    summary.schema = schema;
+                    continue;
+                }
                 ObsEvent::RunStart { schema } => {
                     return Err(error(format!(
-                        "unsupported schema version {schema} (expected {SCHEMA_VERSION})"
+                        "unsupported schema version {schema} (expected {MIN_SCHEMA_VERSION}..={SCHEMA_VERSION})"
                     )))
                 }
                 _ => return Err(error("stream must begin with run_start".to_string())),
@@ -217,6 +287,33 @@ pub fn validate_stream(text: &str) -> Result<StreamSummary, StreamError> {
             }
             ObsEvent::Counter { .. } => summary.counter_updates += 1,
             ObsEvent::Gauge { .. } => summary.gauge_updates += 1,
+            ObsEvent::Heartbeat {
+                conflicts,
+                families,
+                conflicts_by_family,
+                ..
+            } => {
+                if summary.schema < 2 {
+                    return Err(error(format!(
+                        "heartbeat events require schema 2, but the stream declared schema {}",
+                        summary.schema
+                    )));
+                }
+                if families.len() != conflicts_by_family.len() {
+                    return Err(error(format!(
+                        "heartbeat names {} families but carries {} conflict counts",
+                        families.len(),
+                        conflicts_by_family.len()
+                    )));
+                }
+                let sum: u64 = conflicts_by_family.iter().sum();
+                if sum != conflicts {
+                    return Err(error(format!(
+                        "heartbeat family partition sums to {sum}, not its conflict count {conflicts}"
+                    )));
+                }
+                summary.heartbeats += 1;
+            }
         }
     }
     if summary.events == 0 {
@@ -260,8 +357,22 @@ mod tests {
                 name: "campaign.experiments".into(),
                 value: 12,
             },
-            ObsEvent::SpanEnd {
+            ObsEvent::Heartbeat {
                 seq: 4,
+                at_us: 120,
+                hb_seq: 1,
+                conflicts: 7,
+                conflicts_per_sec: 350.5,
+                restarts: 1,
+                trail_depth: 9,
+                learnt_clauses: 4,
+                vars_assigned_at_root: 2,
+                total_vars: 40,
+                families: vec!["default".into(), "learned".into()],
+                conflicts_by_family: vec![3, 4],
+            },
+            ObsEvent::SpanEnd {
+                seq: 5,
                 id: 0,
                 name: "campaign".into(),
                 path: "campaign".into(),
@@ -336,5 +447,65 @@ mod tests {
             .unwrap_err()
             .message
             .contains("unsupported schema"));
+    }
+
+    #[test]
+    fn v1_streams_are_accepted_read_only() {
+        let text = stream(&[
+            r#"{"type": "run_start", "schema": 1}"#,
+            r#"{"type": "gauge", "seq": 1, "name": "workers", "value": 2}"#,
+        ]);
+        let summary = validate_stream(&text).expect("v1 stays readable");
+        assert_eq!(summary.schema, 1);
+        assert_eq!(summary.heartbeats, 0);
+    }
+
+    #[test]
+    fn heartbeats_inside_a_v1_stream_are_rejected() {
+        let hb = r#"{"type": "heartbeat", "seq": 1, "at_us": 5, "hb_seq": 1, "conflicts": 2, "conflicts_per_sec": 1.0, "restarts": 0, "trail_depth": 1, "learnt_clauses": 0, "vars_assigned_at_root": 0, "total_vars": 4, "families": ["default"], "conflicts_by_family": [2]}"#;
+        let text = stream(&[r#"{"type": "run_start", "schema": 1}"#, hb]);
+        let error = validate_stream(&text).unwrap_err();
+        assert_eq!(error.line, 2);
+        assert!(error.message.contains("require schema 2"));
+
+        let ok = stream(&[r#"{"type": "run_start", "schema": 2}"#, hb]);
+        assert_eq!(validate_stream(&ok).expect("v2 allows it").heartbeats, 1);
+    }
+
+    #[test]
+    fn unknown_event_kinds_are_named_with_their_line() {
+        let text = stream(&[
+            r#"{"type": "run_start", "schema": 2}"#,
+            r#"{"type": "gauge", "seq": 1, "name": "g", "value": 1}"#,
+            r#"{"type": "flamegraph", "seq": 2}"#,
+        ]);
+        let error = validate_stream(&text).unwrap_err();
+        assert_eq!(error.line, 3);
+        assert!(error.message.contains("unknown event kind `flamegraph`"));
+
+        let untagged = stream(&[r#"{"type": "run_start", "schema": 2}"#, r#"{"seq": 1}"#]);
+        assert!(validate_stream(&untagged)
+            .unwrap_err()
+            .message
+            .contains("no `type` field"));
+    }
+
+    #[test]
+    fn heartbeat_partitions_must_sum_to_their_conflict_count() {
+        let text = stream(&[
+            r#"{"type": "run_start", "schema": 2}"#,
+            r#"{"type": "heartbeat", "seq": 1, "at_us": 5, "hb_seq": 1, "conflicts": 9, "conflicts_per_sec": 1.0, "restarts": 0, "trail_depth": 1, "learnt_clauses": 0, "vars_assigned_at_root": 0, "total_vars": 4, "families": ["default"], "conflicts_by_family": [2]}"#,
+        ]);
+        let error = validate_stream(&text).unwrap_err();
+        assert!(error.message.contains("sums to 2"));
+
+        let ragged = stream(&[
+            r#"{"type": "run_start", "schema": 2}"#,
+            r#"{"type": "heartbeat", "seq": 1, "at_us": 5, "hb_seq": 1, "conflicts": 2, "conflicts_per_sec": 1.0, "restarts": 0, "trail_depth": 1, "learnt_clauses": 0, "vars_assigned_at_root": 0, "total_vars": 4, "families": ["default", "theory"], "conflicts_by_family": [2]}"#,
+        ]);
+        assert!(validate_stream(&ragged)
+            .unwrap_err()
+            .message
+            .contains("2 families but carries 1"));
     }
 }

@@ -64,7 +64,10 @@ mod registry;
 mod span;
 
 pub use cli::metrics_registry;
-pub use event::{validate_stream, Label, ObsEvent, StreamError, StreamSummary, SCHEMA_VERSION};
+pub use event::{
+    validate_stream, Label, ObsEvent, StreamError, StreamSummary, MIN_SCHEMA_VERSION,
+    SCHEMA_VERSION,
+};
 pub use metrics::{CounterValue, MetricsSection, SpanAggregate};
-pub use registry::{BufferSink, Obs, Registry, Span};
+pub use registry::{BufferSink, HeartbeatSample, Obs, Registry, Span};
 pub use span::{span_forest, Snapshot, SpanNode, SpanRecord};

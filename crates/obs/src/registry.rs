@@ -130,6 +130,34 @@ impl Inner {
     }
 }
 
+/// One solver progress sample, as handed to [`Obs::heartbeat`]. The caller
+/// (whoever installed the solver's heartbeat hook) owns the wall clock and
+/// computes `conflicts_per_sec`; everything else is copied straight from the
+/// solver's count-only heartbeat.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HeartbeatSample {
+    /// Heartbeat ordinal within the solve call, counting from 1.
+    pub hb_seq: u64,
+    /// Conflicts recorded by the solver so far.
+    pub conflicts: u64,
+    /// Conflict rate since the previous heartbeat (0.0 on the first).
+    pub conflicts_per_sec: f64,
+    /// Restarts so far.
+    pub restarts: u64,
+    /// Current assignment trail depth.
+    pub trail_depth: u64,
+    /// Learnt clauses currently in the database.
+    pub learnt_clauses: u64,
+    /// Variables fixed at decision level 0.
+    pub vars_assigned_at_root: u64,
+    /// Total variables in the solver.
+    pub total_vars: u64,
+    /// Clause-family names, parallel to `conflicts_by_family`.
+    pub families: Vec<String>,
+    /// Per-family conflict partition (sums to `conflicts`).
+    pub conflicts_by_family: Vec<u64>,
+}
+
 /// A cheap, cloneable handle into a [`Registry`], carrying the current span
 /// context. The disabled handle ([`Obs::off`], also `Default`) turns every
 /// operation into a no-op, so instrumented code takes an `&Obs` (or stores an
@@ -243,6 +271,34 @@ impl Obs {
             name: name.to_string(),
             delta,
             total,
+        };
+        ctx.inner.emit(&mut state, &event);
+    }
+
+    /// Emits a solver progress heartbeat (schema v2) to the event stream.
+    ///
+    /// Heartbeats are stream-only telemetry: they do not accumulate in the
+    /// registry snapshot (their content is a point-in-time sample, not an
+    /// aggregate), so a disabled handle or a sink-less registry makes this a
+    /// no-op apart from the sequence number.
+    pub fn heartbeat(&self, sample: HeartbeatSample) {
+        let Some(ctx) = &self.ctx else { return };
+        let at_us = ctx.inner.now_us();
+        let mut state = ctx.inner.state.lock();
+        state.seq += 1;
+        let event = ObsEvent::Heartbeat {
+            seq: state.seq,
+            at_us,
+            hb_seq: sample.hb_seq,
+            conflicts: sample.conflicts,
+            conflicts_per_sec: sample.conflicts_per_sec,
+            restarts: sample.restarts,
+            trail_depth: sample.trail_depth,
+            learnt_clauses: sample.learnt_clauses,
+            vars_assigned_at_root: sample.vars_assigned_at_root,
+            total_vars: sample.total_vars,
+            families: sample.families,
+            conflicts_by_family: sample.conflicts_by_family,
         };
         ctx.inner.emit(&mut state, &event);
     }
@@ -461,6 +517,34 @@ mod tests {
         assert_eq!(summary.spans_finished, 1);
         assert_eq!(summary.counter_updates, 1);
         assert!(text.lines().next().unwrap().contains("run_start"));
+    }
+
+    #[test]
+    fn heartbeats_flow_to_the_sink_and_validate() {
+        let sink = BufferSink::new();
+        let registry = Registry::with_sink(Box::new(sink.clone()));
+        let obs = registry.obs();
+        let span = obs.span("solve");
+        span.obs().heartbeat(HeartbeatSample {
+            hb_seq: 1,
+            conflicts: 10,
+            conflicts_per_sec: 0.0,
+            restarts: 1,
+            trail_depth: 6,
+            learnt_clauses: 3,
+            vars_assigned_at_root: 1,
+            total_vars: 12,
+            families: vec!["default".into(), "feasibility".into()],
+            conflicts_by_family: vec![4, 6],
+        });
+        span.finish();
+        registry.flush();
+        let summary = validate_stream(&sink.contents()).expect("stream is valid");
+        assert_eq!(summary.heartbeats, 1);
+        assert_eq!(summary.schema, crate::event::SCHEMA_VERSION);
+
+        // The disabled handle drops samples on the floor.
+        Obs::off().heartbeat(HeartbeatSample::default());
     }
 
     #[test]

@@ -1,11 +1,15 @@
 //! Measures what observability costs: identical campaigns with telemetry off
-//! (`Obs::off`) versus fully on (spans + counters + JSONL event streaming),
-//! interleaved, taking the minimum wall time of each mode.
+//! (`Obs::off`) versus fully on (spans + counters + solver heartbeats +
+//! JSONL event streaming), interleaved, taking the minimum wall time of each
+//! mode.
 //!
-//! Besides the overhead, the run re-checks the two contracts the
+//! Besides the overhead, the run re-checks the contracts the
 //! instrumentation ships with: the deterministic report halves must be
-//! byte-identical with metrics on and off, and the named phase spans must
-//! attribute ≥95% of the campaign wall time.
+//! byte-identical with metrics on and off, the named phase spans must
+//! attribute ≥95% of the campaign wall time, and the instrumented stream
+//! must actually contain heartbeat events — the matrix includes budget-capped
+//! causal cells that burn >10k conflicts precisely so the measured overhead
+//! covers heartbeat emission at the default interval, not just spans.
 //!
 //! Usage:
 //! `cargo run --release -p isopredict-orchestrator --bin bench_obs -- \
@@ -39,6 +43,8 @@ struct Bench {
     attributed_wall_fraction: f64,
     /// JSONL events emitted by one instrumented run.
     events_per_run: usize,
+    /// Solver heartbeat events among them (default interval, 10k conflicts).
+    heartbeats_per_run: usize,
     /// Span paths in the aggregated metrics section.
     span_paths: usize,
     /// Whether the deterministic report halves were byte-identical between
@@ -63,16 +69,18 @@ fn main() {
         .unwrap_or(2.0);
     let out = arg(&args, "--out").unwrap_or_else(|| "BENCH_obs.json".to_string());
 
-    // The BENCH_corpus matrix: read committed keeps every solve decisive, so
-    // the runs are dominated by real solver work — exactly the workload the
-    // instrumentation must not perturb.
+    // Read committed keeps every solve decisive (the BENCH_corpus matrix),
+    // while the causal cells burn a bounded 50k-conflict budget each — long
+    // enough that heartbeats fire at the default 10k-conflict interval, so
+    // the overhead number covers heartbeat emission, not just spans.
     let campaign = Campaign::new()
         .benchmarks([Benchmark::Smallbank, Benchmark::Voter])
         .seeds(0..seeds)
         .strategies([Strategy::ApproxRelaxed])
-        .isolations([IsolationLevel::ReadCommitted]);
+        .isolations([IsolationLevel::ReadCommitted, IsolationLevel::Causal]);
     let options = CampaignOptions {
         workers,
+        conflict_budget: Some(50_000),
         ..CampaignOptions::default()
     };
     eprintln!(
@@ -86,6 +94,7 @@ fn main() {
     let mut det_on: Option<String> = None;
     let mut attributed = 0.0;
     let mut events_per_run = 0;
+    let mut heartbeats_per_run = 0;
     let mut span_paths = 0;
 
     for iteration in 0..iterations {
@@ -107,18 +116,20 @@ fn main() {
         let stream = sink.contents();
         let summary = validate_stream(&stream).expect("instrumented run streams valid JSONL");
         events_per_run = summary.events;
+        heartbeats_per_run = summary.heartbeats;
         eprintln!(
-            "  iteration {iteration}: off {:.2}s, on {:.2}s ({} events)",
+            "  iteration {iteration}: off {:.2}s, on {:.2}s ({} events, {} heartbeats)",
             off_report.timing.wall_us as f64 / 1e6,
             on_report.timing.wall_us as f64 / 1e6,
-            summary.events
+            summary.events,
+            summary.heartbeats
         );
     }
 
     let overhead_pct = (on_wall_us as f64 - off_wall_us as f64) / off_wall_us as f64 * 100.0;
     let deterministic_identical = det_off == det_on;
     let bench = Bench {
-        matrix: format!("smallbank+voter × {seeds} seeds × rc (small)"),
+        matrix: format!("smallbank+voter × {seeds} seeds × rc+causal (small, 50k budget)"),
         experiments: campaign.experiments(),
         workers,
         iterations,
@@ -127,13 +138,16 @@ fn main() {
         overhead_pct,
         attributed_wall_fraction: attributed,
         events_per_run,
+        heartbeats_per_run,
         span_paths,
         deterministic_identical,
         notes: "Minimum wall time over interleaved off/on iterations; 'on' includes span \
-                bookkeeping, counter updates and JSONL event streaming to an in-memory sink. \
-                Deterministic report halves are asserted byte-identical with telemetry on and \
-                off, and the record/predict/validate phase spans must attribute >=95% of the \
-                campaign span's wall time."
+                bookkeeping, counter updates, solver heartbeats at the default 10k-conflict \
+                interval and JSONL event streaming to an in-memory sink. The budget-capped \
+                causal cells guarantee heartbeat traffic (gated: zero heartbeats fails the \
+                bench). Deterministic report halves are asserted byte-identical with telemetry \
+                on and off, and the record/predict/validate phase spans must attribute >=95% \
+                of the campaign span's wall time."
             .to_string(),
     };
     std::fs::write(
@@ -156,6 +170,11 @@ fn main() {
         attributed >= 0.95,
         "phase spans attribute only {:.1}% of campaign wall time",
         attributed * 100.0
+    );
+    assert!(
+        heartbeats_per_run > 0,
+        "instrumented run emitted no heartbeat events — the overhead number \
+         would not cover heartbeat emission"
     );
     assert!(
         overhead_pct < max_overhead_pct,

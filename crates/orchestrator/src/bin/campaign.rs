@@ -7,7 +7,7 @@
 //!     [--strategies exact-strict,approx-strict,approx-relaxed] \
 //!     [--isolation causal,rc,si] [--size small|large] [--budget N] \
 //!     [--workers N] [--shard auto|never|always] [--corpus DIR] \
-//!     [--no-preprocess] \
+//!     [--no-preprocess] [--heartbeat-every N] \
 //!     [--out PATH] [--det-out PATH] [--metrics PATH | --metrics-stdout]`
 //!
 //! With `--corpus DIR`, observed cells already in the corpus are loaded
@@ -72,6 +72,12 @@ fn main() {
     // deterministic report half must not depend on it.
     if args.iter().any(|a| a == "--no-preprocess") {
         options.preprocess = false;
+    }
+    // Solver heartbeat interval in conflicts (0 disables). Heartbeats feed
+    // the obs stream and `unknown` post-mortems, never the deterministic
+    // report half.
+    if let Some(every) = arg(&args, "--heartbeat-every").and_then(|v| v.parse().ok()) {
+        options.heartbeat_every = every;
     }
 
     eprintln!(
@@ -138,6 +144,13 @@ fn main() {
             metrics.spans.len(),
             metrics.counter("solver.conflicts"),
             metrics.counter("solver.propagations"),
+        );
+    }
+
+    if !report.postmortems.is_empty() {
+        println!(
+            "postmortems: {} budget-exhausted analysis unit(s) recorded; render with `sat_explain <report.json>`",
+            report.postmortems.len(),
         );
     }
 

@@ -39,7 +39,8 @@ use isopredict_workloads::{run, Benchmark, Schedule, WorkloadConfig, WorkloadSiz
 use crate::harness::{record_observed, ExperimentOutcome};
 use crate::merge::merge_outcomes;
 use crate::report::{
-    outcome_name, CampaignReport, CampaignSummary, CampaignTiming, ProvenanceRecord, TaskRecord,
+    outcome_name, CampaignReport, CampaignSummary, CampaignTiming, PostmortemRecord,
+    ProvenanceRecord, TaskRecord,
 };
 use crate::shard::{ShardPlan, ShardPolicy, ShardUnit};
 use crate::worker::WorkerPool;
@@ -66,6 +67,11 @@ pub struct CampaignOptions {
     /// call (see [`PredictorConfig::preprocess`]). On by default; the
     /// campaign CLI's `--no-preprocess` turns it off for A/B comparisons.
     pub preprocess: bool,
+    /// Solver heartbeat interval in conflicts (0 disables). Heartbeats are
+    /// schema-v2 obs stream events plus the bounded ring retained for
+    /// `unknown` post-mortems; they never touch the deterministic report
+    /// half (see [`PredictorConfig::heartbeat_every`]).
+    pub heartbeat_every: u64,
 }
 
 impl Default for CampaignOptions {
@@ -76,6 +82,7 @@ impl Default for CampaignOptions {
             shard_policy: ShardPolicy::default(),
             corpus: None,
             preprocess: true,
+            heartbeat_every: 10_000,
         }
     }
 }
@@ -309,6 +316,7 @@ impl Campaign {
                 isolation: task.isolation,
                 conflict_budget: task.conflict_budget,
                 preprocess: options.preprocess,
+                heartbeat_every: options.heartbeat_every,
                 ..PredictorConfig::default()
             });
             let outcome = match unit {
@@ -380,6 +388,27 @@ impl Campaign {
             .map(|(record, _)| record)
             .collect();
         let summary = CampaignSummary::from_tasks(&tasks);
+        // Flight-recorder post-mortems: one per budget-exhausted analysis
+        // unit, in deterministic matrix order (unit_tasks order). The
+        // records themselves are diagnostic (heartbeat ring, attribution)
+        // and live in the non-deterministic report half.
+        let postmortems: Vec<PostmortemRecord> = unit_tasks
+            .iter()
+            .zip(&unit_results)
+            .filter_map(|(task, (outcome, _))| {
+                outcome.postmortem().map(|pm| {
+                    let observation = &observations[task.observation];
+                    PostmortemRecord::new(
+                        observation.benchmark.name(),
+                        observation.seed,
+                        task.strategy.name(),
+                        &task.isolation.to_string(),
+                        &observation.plan.units[task.unit].label(),
+                        pm,
+                    )
+                })
+            })
+            .collect();
         let provenance: Vec<ProvenanceRecord> = observations
             .iter()
             .map(|observation| ProvenanceRecord {
@@ -425,6 +454,7 @@ impl Campaign {
             provenance,
             timing,
             metrics,
+            postmortems,
         }
     }
 }
@@ -566,7 +596,7 @@ fn finish_experiment(
 
     let (outcome, diverged, changed_reads) = match &merged.outcome {
         PredictionOutcome::NoPrediction { .. } => (ExperimentOutcome::NoPrediction, false, 0),
-        PredictionOutcome::Unknown => (ExperimentOutcome::Unknown, false, 0),
+        PredictionOutcome::Unknown { .. } => (ExperimentOutcome::Unknown, false, 0),
         PredictionOutcome::Prediction(prediction) => {
             let validation_plan =
                 validate::plan_validation(prediction, &observation.committed_indices);

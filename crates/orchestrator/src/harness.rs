@@ -154,7 +154,7 @@ pub fn run_experiment_observed(
             Duration::ZERO,
             Duration::ZERO,
         ),
-        PredictionOutcome::Unknown => (
+        PredictionOutcome::Unknown { .. } => (
             ExperimentOutcome::Unknown,
             false,
             EncodingStats::default(),

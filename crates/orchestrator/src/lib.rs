@@ -63,6 +63,9 @@ pub use harness::{
     ExperimentResult,
 };
 pub use merge::{embed, merge_outcomes, MergedOutcome};
-pub use report::{CampaignReport, CampaignSummary, CampaignTiming, ProvenanceRecord, TaskRecord};
+pub use report::{
+    CampaignReport, CampaignSummary, CampaignTiming, HeartbeatRecord, PostmortemRecord,
+    ProvenanceRecord, TaskRecord,
+};
 pub use shard::{ShardPlan, ShardPolicy, ShardUnit};
 pub use worker::WorkerPool;

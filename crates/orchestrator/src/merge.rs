@@ -15,7 +15,7 @@ use std::time::Duration;
 
 use isopredict::{NoPredictionReason, Prediction, PredictionOutcome};
 use isopredict_history::History;
-use isopredict_smt::EncodingStats;
+use isopredict_smt::{EncodingStats, SolverPostmortem};
 
 /// A merged whole-history verdict with shard-aggregated measurements.
 #[derive(Debug)]
@@ -117,6 +117,7 @@ pub fn merge_outcomes<O: std::borrow::Borrow<PredictionOutcome>>(
     let mut winner: Option<(usize, &Prediction)> = None;
     let mut saw_unknown = false;
     let mut saw_exhausted = false;
+    let mut unknown_postmortem: Option<Box<SolverPostmortem>> = None;
 
     for (index, outcome) in outcomes.iter().enumerate() {
         match outcome.borrow() {
@@ -128,7 +129,15 @@ pub fn merge_outcomes<O: std::borrow::Borrow<PredictionOutcome>>(
                     winner = Some((index, prediction));
                 }
             }
-            PredictionOutcome::Unknown => saw_unknown = true,
+            PredictionOutcome::Unknown { postmortem } => {
+                saw_unknown = true;
+                // The merged verdict keeps the first exhausted unit's
+                // post-mortem: good enough to explain *a* budget failure;
+                // per-unit detail lives in the campaign report.
+                if unknown_postmortem.is_none() {
+                    unknown_postmortem.clone_from(postmortem);
+                }
+            }
             PredictionOutcome::NoPrediction {
                 reason: NoPredictionReason::ExhaustedCandidates,
             } => saw_exhausted = true,
@@ -145,7 +154,12 @@ pub fn merge_outcomes<O: std::borrow::Borrow<PredictionOutcome>>(
             };
             (PredictionOutcome::Prediction(lifted), Some(index))
         }
-        None if saw_unknown => (PredictionOutcome::Unknown, None),
+        None if saw_unknown => (
+            PredictionOutcome::Unknown {
+                postmortem: unknown_postmortem,
+            },
+            None,
+        ),
         None => (
             PredictionOutcome::NoPrediction {
                 reason: if saw_exhausted {
@@ -241,13 +255,17 @@ mod tests {
         assert!(merged.outcome.is_no_prediction());
         assert!(merged.predicting_unit.is_none());
 
-        let merged = merge_outcomes(&observed, &[unsat(), PredictionOutcome::Unknown], true);
+        let merged = merge_outcomes(
+            &observed,
+            &[unsat(), PredictionOutcome::Unknown { postmortem: None }],
+            true,
+        );
         assert!(merged.outcome.is_unknown());
 
         let merged = merge_outcomes(
             &observed,
             &[
-                PredictionOutcome::Unknown,
+                PredictionOutcome::Unknown { postmortem: None },
                 predictor().predict_restricted(&observed, &[TxnId(3), TxnId(4)]),
             ],
             true,

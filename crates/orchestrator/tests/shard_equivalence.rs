@@ -64,7 +64,7 @@ fn outcome_class(outcome: &PredictionOutcome) -> &'static str {
     match outcome {
         PredictionOutcome::Prediction(_) => "prediction",
         PredictionOutcome::NoPrediction { .. } => "no_prediction",
-        PredictionOutcome::Unknown => "unknown",
+        PredictionOutcome::Unknown { .. } => "unknown",
     }
 }
 

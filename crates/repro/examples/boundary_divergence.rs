@@ -55,7 +55,7 @@ fn main() {
             isopredict::PredictionOutcome::NoPrediction { reason } => {
                 println!("no prediction ({reason:?}) — the strict boundary excludes the\n  events that could diverge, and what remains is serializable.\n");
             }
-            isopredict::PredictionOutcome::Unknown => println!("budget exhausted\n"),
+            isopredict::PredictionOutcome::Unknown { .. } => println!("budget exhausted\n"),
         }
     }
 }

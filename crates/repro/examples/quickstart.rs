@@ -53,6 +53,6 @@ fn main() {
         PredictionOutcome::NoPrediction { reason } => {
             println!("no unserializable execution can be predicted: {reason:?}");
         }
-        PredictionOutcome::Unknown => println!("solver budget exhausted"),
+        PredictionOutcome::Unknown { .. } => println!("solver budget exhausted"),
     }
 }

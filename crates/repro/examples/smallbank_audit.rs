@@ -43,7 +43,7 @@ fn main() {
             println!("no prediction for this seed ({reason:?}); try another seed");
             return;
         }
-        PredictionOutcome::Unknown => {
+        PredictionOutcome::Unknown { .. } => {
             println!("solver budget exhausted");
             return;
         }

@@ -40,7 +40,7 @@ fn main() {
             PredictionOutcome::NoPrediction { .. } => {
                 println!("seed {seed}: no causal prediction (few writing transactions)");
             }
-            PredictionOutcome::Unknown => println!("seed {seed}: solver budget exhausted"),
+            PredictionOutcome::Unknown { .. } => println!("seed {seed}: solver budget exhausted"),
         }
     }
 

@@ -82,7 +82,7 @@ proptest! {
                     );
                     prop_assert!(!prediction.changed_reads.is_empty());
                 }
-                PredictionOutcome::NoPrediction { .. } | PredictionOutcome::Unknown => {}
+                PredictionOutcome::NoPrediction { .. } | PredictionOutcome::Unknown { .. } => {}
             }
         }
     }

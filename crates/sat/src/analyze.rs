@@ -59,6 +59,9 @@ impl Solver {
             let reason = self.reasons[next.var().index()]
                 .expect("non-decision literal at current level has a reason");
             self.bump_clause(reason);
+            // Provenance: the conflict's derivation involves every clause
+            // resolved on (see crate::flight).
+            self.analysis_mask |= self.db.get(reason).mask;
             let reason_lits = self.db.get(reason).lits.clone();
             pending.clear();
             for l in reason_lits {

@@ -22,16 +22,29 @@ pub struct Clause {
     /// clause-database reduction policy.
     pub(crate) lbd: u32,
     pub(crate) activity: f64,
+    /// Axiom family that emitted the clause (see [`crate::flight`]).
+    pub(crate) family: u16,
+    /// Provenance bitmask: the families involved in deriving this clause
+    /// (for problem clauses just the family's own bit; for learnt clauses
+    /// the OR over every clause resolved on during analysis).
+    pub(crate) mask: u32,
 }
 
 impl Clause {
     pub(crate) fn new(lits: Vec<Lit>, learnt: bool) -> Self {
+        let family = if learnt {
+            crate::flight::FAMILY_LEARNED
+        } else {
+            crate::flight::FAMILY_DEFAULT
+        };
         Clause {
             lits,
             learnt,
             deleted: false,
             lbd: 0,
             activity: 0.0,
+            family,
+            mask: crate::flight::family_bit(family),
         }
     }
 
@@ -58,6 +71,13 @@ impl Clause {
     #[must_use]
     pub fn is_learnt(&self) -> bool {
         self.learnt
+    }
+
+    /// The id of the axiom family that emitted the clause (resolve names
+    /// through [`crate::Solver::families`]).
+    #[must_use]
+    pub fn family(&self) -> u16 {
+        self.family
     }
 }
 

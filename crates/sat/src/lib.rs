@@ -42,6 +42,7 @@ mod analyze;
 mod assignment;
 mod clause;
 mod dimacs;
+mod flight;
 mod heap;
 mod literal;
 mod model;
@@ -55,9 +56,12 @@ mod theory;
 pub use assignment::LBool;
 pub use clause::{Clause, ClauseRef};
 pub use dimacs::{parse_dimacs, solver_from_dimacs, write_dimacs, DimacsError};
+pub use flight::{
+    FamilyAttribution, Heartbeat, SolverPostmortem, FAMILY_DEFAULT, FAMILY_LEARNED, FAMILY_THEORY,
+};
 pub use literal::{Lit, Var};
 pub use model::Model;
 pub use preprocess::{FormulaProfile, PreprocessConfig, PreprocessSummary};
-pub use solver::{SolveOutcome, Solver, SolverConfig};
+pub use solver::{HeartbeatHook, SolveOutcome, Solver, SolverConfig};
 pub use stats::SolverStats;
 pub use theory::{NullTheory, Theory, TheoryResult};

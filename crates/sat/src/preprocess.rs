@@ -202,6 +202,16 @@ pub(crate) struct ElimEntry {
     pub(crate) clause: Vec<Lit>,
 }
 
+/// A clause stored for incremental restoration of an eliminated variable,
+/// retaining its provenance so the flight recorder keeps attributing it to
+/// the right axiom family after restoration.
+#[derive(Debug, Clone)]
+pub(crate) struct RestoredClause {
+    pub(crate) lits: Vec<Lit>,
+    pub(crate) family: u16,
+    pub(crate) mask: u32,
+}
+
 /// A recorded simplification that removes a variable from the formula.
 enum SimpOp {
     /// `pos(var)` is equivalent to `rep`.
@@ -210,7 +220,7 @@ enum SimpOp {
     Eliminate {
         var: Var,
         stack: Vec<ElimEntry>,
-        restore: Vec<Vec<Lit>>,
+        restore: Vec<RestoredClause>,
     },
 }
 
@@ -298,6 +308,10 @@ struct Simplifier {
     /// has length ≥ 2 and mentions only active, unfixed variables (up to
     /// units still waiting in `unit_queue`).
     clauses: Vec<Option<Vec<Lit>>>,
+    /// `(family, provenance mask)` per clause slot, parallel to `clauses`.
+    /// Rewrites in place keep the slot's provenance; derived clauses OR the
+    /// masks of their parents (see `crate::flight`).
+    meta: Vec<(u16, u32)>,
     /// Variable-based 64-bit signature per clause (subsumption filter).
     sigs: Vec<u64>,
     /// `occ[l.code()]` ⊇ indices of live clauses containing `l` (entries may
@@ -325,12 +339,13 @@ impl Simplifier {
         fixed: Vec<LBool>,
         frozen: Vec<bool>,
         active: Vec<bool>,
-        originals: Vec<Vec<Lit>>,
+        originals: Vec<(Vec<Lit>, u16, u32)>,
     ) -> Self {
         let mut simp = Simplifier {
             cfg,
             num_vars,
             clauses: Vec::with_capacity(originals.len()),
+            meta: Vec::with_capacity(originals.len()),
             sigs: Vec::with_capacity(originals.len()),
             occ: vec![Vec::new(); 2 * num_vars],
             fixed,
@@ -345,8 +360,8 @@ impl Simplifier {
             unsat: false,
             probes_used: 0,
         };
-        for lits in originals {
-            simp.ingest(lits);
+        for (lits, family, mask) in originals {
+            simp.ingest(lits, family, mask);
         }
         simp
     }
@@ -358,7 +373,7 @@ impl Simplifier {
 
     /// Normalizes `lits` against the fixed map and stores the clause (or
     /// enqueues it as a unit / flags unsatisfiability).
-    fn ingest(&mut self, lits: Vec<Lit>) {
+    fn ingest(&mut self, lits: Vec<Lit>, family: u16, mask: u32) {
         let mut simplified: Vec<Lit> = Vec::with_capacity(lits.len());
         for lit in lits {
             match self.value(lit) {
@@ -378,14 +393,15 @@ impl Simplifier {
             0 => self.unsat = true,
             1 => self.enqueue_fix(simplified[0]),
             _ => {
-                self.push_clause(simplified);
+                self.push_clause(simplified, family, mask);
             }
         }
     }
 
-    fn push_clause(&mut self, lits: Vec<Lit>) -> usize {
+    fn push_clause(&mut self, lits: Vec<Lit>, family: u16, mask: u32) -> usize {
         let ci = self.clauses.len();
         self.sigs.push(Self::sig_of(&lits));
+        self.meta.push((family, mask));
         for &l in &lits {
             self.occ[l.code()].push(ci);
         }
@@ -653,6 +669,9 @@ impl Simplifier {
                     let lits = self.clauses[dj].as_mut().expect("validated live");
                     lits.retain(|&m| m != neg);
                     self.sigs[dj] = Self::sig_of(lits);
+                    // The strengthened D is the resolvent of C and D, so its
+                    // provenance now also involves C's families.
+                    self.meta[dj].1 |= self.meta[ci].1;
                     self.summary.strengthened += 1;
                     changed = true;
                     if lits.len() == 1 {
@@ -825,9 +844,10 @@ impl Simplifier {
             }
 
             // Generate non-tautological resolvents; bail out if elimination
-            // would grow the clause count.
+            // would grow the clause count. A resolvent keeps the positive
+            // parent's family and ORs both parents' provenance masks.
             let max_resolvents = pos_list.len() + neg_list.len();
-            let mut resolvents: Vec<Vec<Lit>> = Vec::new();
+            let mut resolvents: Vec<(Vec<Lit>, u16, u32)> = Vec::new();
             let mut too_many = false;
             'product: for &pi in &pos_list {
                 for &ni in &neg_list {
@@ -840,7 +860,7 @@ impl Simplifier {
                     if res.windows(2).any(|w| w[0] == w[1].negate()) {
                         continue; // tautology
                     }
-                    resolvents.push(res);
+                    resolvents.push((res, self.meta[pi].0, self.meta[pi].1 | self.meta[ni].1));
                     if resolvents.len() > max_resolvents {
                         too_many = true;
                         break 'product;
@@ -854,9 +874,13 @@ impl Simplifier {
             // Commit: record restoration clauses and reconstruction entries
             // (the smaller side plus a defaulting unit), then swap the
             // variable's clauses for the resolvents.
-            let clone_side = |simp: &Simplifier, list: &[usize]| -> Vec<Vec<Lit>> {
+            let clone_side = |simp: &Simplifier, list: &[usize]| -> Vec<RestoredClause> {
                 list.iter()
-                    .map(|&ci| simp.clauses[ci].as_ref().expect("validated live").clone())
+                    .map(|&ci| RestoredClause {
+                        lits: simp.clauses[ci].as_ref().expect("validated live").clone(),
+                        family: simp.meta[ci].0,
+                        mask: simp.meta[ci].1,
+                    })
                     .collect()
             };
             let pos_clauses = clone_side(self, &pos_list);
@@ -866,7 +890,7 @@ impl Simplifier {
                 for clause in &pos_clauses {
                     stack.push(ElimEntry {
                         pivot: pos,
-                        clause: clause.clone(),
+                        clause: clause.lits.clone(),
                     });
                 }
                 stack.push(ElimEntry {
@@ -877,7 +901,7 @@ impl Simplifier {
                 for clause in &neg_clauses {
                     stack.push(ElimEntry {
                         pivot: neg,
-                        clause: clause.clone(),
+                        clause: clause.lits.clone(),
                     });
                 }
                 stack.push(ElimEntry {
@@ -899,12 +923,12 @@ impl Simplifier {
                 stack,
                 restore,
             });
-            for res in resolvents {
+            for (res, family, mask) in resolvents {
                 match res.len() {
                     0 => unreachable!("resolvent of two non-unit clauses is non-empty"),
                     1 => self.enqueue_fix(res[0]),
                     _ => {
-                        self.push_clause(res);
+                        self.push_clause(res, family, mask);
                     }
                 }
             }
@@ -984,7 +1008,7 @@ impl Solver {
         self.heap.insert(var);
         let clauses = std::mem::take(&mut self.restore_clauses[var.index()]);
         for clause in clauses {
-            self.add_clause_internal(clause, false);
+            self.add_clause_with_provenance(clause.lits, false, clause.family, clause.mask);
         }
     }
 
@@ -1094,13 +1118,13 @@ impl Solver {
         summary.clauses_before = self.db.num_original as u64;
         summary.literals_before = self.db.literal_count;
 
-        // Extract the live problem clauses.
-        let originals: Vec<Vec<Lit>> = self
+        // Extract the live problem clauses, keeping their provenance.
+        let originals: Vec<(Vec<Lit>, u16, u32)> = self
             .db
             .clauses
             .iter()
             .filter(|c| !c.deleted && !c.learnt)
-            .map(|c| c.lits.clone())
+            .map(|c| (c.lits.clone(), c.family, c.mask))
             .collect();
         let fixed: Vec<LBool> = (0..self.num_vars())
             .map(|v| self.assignment.value_var(Var::from_index(v as u32)))
@@ -1184,7 +1208,7 @@ impl Solver {
         // Filter learnt clauses: drop any that mention a removed variable
         // (they remain implied by the surviving formula) or that are
         // satisfied at the top level; strip falsified literals.
-        let mut kept_learnts: Vec<(Vec<Lit>, u32, f64)> = Vec::new();
+        let mut kept_learnts: Vec<(Vec<Lit>, u32, f64, u32)> = Vec::new();
         let mut learnt_units: Vec<Lit> = Vec::new();
         for (_, clause) in self.db.live_learnt() {
             if clause
@@ -1212,22 +1236,28 @@ impl Solver {
             if lits.len() == 1 {
                 learnt_units.push(lits[0]);
             } else {
-                kept_learnts.push((lits, clause.lbd, clause.activity));
+                kept_learnts.push((lits, clause.lbd, clause.activity, clause.mask));
             }
         }
 
-        // Rebuild the clause database and watches from scratch.
+        // Rebuild the clause database and watches from scratch, carrying the
+        // provenance the simplifier tracked per clause slot.
         self.db = ClauseDb::new();
         self.watches = vec![Vec::new(); 2 * self.num_vars()];
-        for lits in simp.clauses.into_iter().flatten() {
+        for (lits, (family, mask)) in simp.clauses.into_iter().zip(simp.meta) {
+            let Some(lits) = lits else { continue };
             debug_assert!(lits.len() >= 2);
-            let cref = self.db.push(Clause::new(lits, false));
+            let mut clause = Clause::new(lits, false);
+            clause.family = family;
+            clause.mask = mask;
+            let cref = self.db.push(clause);
             self.attach_clause(cref);
         }
-        for (lits, lbd, activity) in kept_learnts {
+        for (lits, lbd, activity, mask) in kept_learnts {
             let mut clause = Clause::new(lits, true);
             clause.lbd = lbd;
             clause.activity = activity;
+            clause.mask = mask;
             let cref = self.db.push(clause);
             self.attach_clause(cref);
         }

@@ -80,6 +80,8 @@ impl Solver {
                         idx += 1;
                     }
                 } else {
+                    let family = self.db.get(cref).family;
+                    self.attribution.propagations_by_family[usize::from(family)] += 1;
                     self.enqueue(first, Some(cref));
                 }
             }

@@ -1,13 +1,23 @@
 //! The CDCL solver core.
 
+use std::collections::VecDeque;
+
 use crate::assignment::{Assignment, LBool};
 use crate::clause::{Clause, ClauseDb, ClauseRef};
+use crate::flight::{
+    family_bit, FamilyAttribution, Heartbeat, SolverPostmortem, FAMILY_LEARNED, FAMILY_THEORY,
+    HEARTBEAT_RING_CAP,
+};
 use crate::heap::ActivityHeap;
 use crate::literal::{Lit, Var};
 use crate::model::Model;
-use crate::preprocess::{ElimEntry, PreprocessConfig, VarState};
+use crate::preprocess::{ElimEntry, PreprocessConfig, RestoredClause, VarState};
 use crate::stats::SolverStats;
 use crate::theory::{NullTheory, Theory, TheoryResult};
+
+/// A callback invoked on every progress heartbeat (see
+/// [`Solver::set_heartbeat_hook`]).
+pub type HeartbeatHook = Box<dyn FnMut(&Heartbeat) + Send>;
 
 /// Tuning knobs for the solver.
 #[derive(Debug, Clone)]
@@ -32,6 +42,9 @@ pub struct SolverConfig {
     /// Static preprocessing pipeline configuration (see
     /// [`crate::PreprocessConfig`]).
     pub preprocess: PreprocessConfig,
+    /// Emit a progress [`Heartbeat`] every this many conflicts (`0` disables
+    /// heartbeats entirely).
+    pub heartbeat_every: u64,
 }
 
 impl Default for SolverConfig {
@@ -45,6 +58,7 @@ impl Default for SolverConfig {
             use_vsids: true,
             reduce_db: true,
             preprocess: PreprocessConfig::default(),
+            heartbeat_every: 10_000,
         }
     }
 }
@@ -114,9 +128,26 @@ pub struct Solver {
     /// Model-reconstruction stack (replayed newest-first).
     pub(crate) elim_stack: Vec<ElimEntry>,
     /// Stored clauses of eliminated variables, for incremental restoration.
-    pub(crate) restore_clauses: Vec<Vec<Vec<Lit>>>,
+    pub(crate) restore_clauses: Vec<Vec<RestoredClause>>,
     /// Whether clauses arrived since the last preprocessing run.
     pub(crate) pp_dirty: bool,
+    /// Per-family attribution of solver work (see [`crate::flight`]).
+    pub(crate) attribution: FamilyAttribution,
+    /// Family tag applied to subsequently added problem clauses.
+    pub(crate) emit_family: u16,
+    /// Scratch: OR of provenance masks over the clauses resolved on during
+    /// the current conflict analysis.
+    pub(crate) analysis_mask: u32,
+    /// Heartbeat callback, if installed.
+    pub(crate) heartbeat_hook: Option<HeartbeatHook>,
+    /// Recent heartbeats of the current solve call (bounded ring).
+    pub(crate) heartbeat_ring: VecDeque<Heartbeat>,
+    /// Heartbeats emitted so far in the current solve call.
+    pub(crate) hb_seq: u64,
+    /// Conflict count at the last heartbeat (interval trigger).
+    pub(crate) hb_last_conflicts: u64,
+    /// Conflict count when the current solve call began.
+    pub(crate) solve_start_conflicts: u64,
 }
 
 impl Default for Solver {
@@ -167,6 +198,14 @@ impl Solver {
             elim_stack: Vec::new(),
             restore_clauses: Vec::new(),
             pp_dirty: false,
+            attribution: FamilyAttribution::with_reserved(),
+            emit_family: crate::flight::FAMILY_DEFAULT,
+            analysis_mask: 0,
+            heartbeat_hook: None,
+            heartbeat_ring: VecDeque::new(),
+            hb_seq: 0,
+            hb_last_conflicts: 0,
+            solve_start_conflicts: 0,
         }
     }
 
@@ -221,6 +260,20 @@ impl Solver {
     /// `false` for internal re-additions (restored clauses), which must not
     /// inflate the user-facing problem-size counters.
     pub(crate) fn add_clause_internal(&mut self, lits: Vec<Lit>, count_stats: bool) -> bool {
+        let family = self.emit_family;
+        self.add_clause_with_provenance(lits, count_stats, family, family_bit(family))
+    }
+
+    /// Clause ingestion with explicit provenance, used by
+    /// [`Solver::restore_var`] to preserve the original family of restored
+    /// clauses.
+    pub(crate) fn add_clause_with_provenance(
+        &mut self,
+        lits: Vec<Lit>,
+        count_stats: bool,
+        family: u16,
+        mask: u32,
+    ) -> bool {
         self.pp_dirty = true;
         let mut lits: Vec<Lit> = lits
             .into_iter()
@@ -252,6 +305,7 @@ impl Solver {
         if count_stats {
             self.stats.clauses += 1;
             self.stats.literals += simplified.len() as u64;
+            self.attribution.clauses_by_family[usize::from(family)] += 1;
         }
 
         match simplified.len() {
@@ -264,7 +318,10 @@ impl Solver {
                 true
             }
             _ => {
-                let cref = self.db.push(Clause::new(simplified, false));
+                let mut clause = Clause::new(simplified, false);
+                clause.family = family;
+                clause.mask = mask;
+                let cref = self.db.push(clause);
                 self.attach_clause(cref);
                 true
             }
@@ -272,6 +329,8 @@ impl Solver {
     }
 
     /// Adds a learnt clause; the first literal must be the asserting literal.
+    /// The clause inherits the provenance mask accumulated by the conflict
+    /// analysis that produced it.
     pub(crate) fn add_learnt_clause(&mut self, lits: Vec<Lit>, lbd: u32) -> Option<ClauseRef> {
         match lits.len() {
             0 => {
@@ -283,6 +342,7 @@ impl Solver {
                 let mut clause = Clause::new(lits, true);
                 clause.lbd = lbd;
                 clause.activity = self.cla_inc;
+                clause.mask = self.analysis_mask | family_bit(FAMILY_LEARNED);
                 let cref = self.db.push(clause);
                 self.attach_clause(cref);
                 Some(cref)
@@ -399,6 +459,14 @@ impl Solver {
         self.cancel_until(0);
         theory.backtrack_to(0);
 
+        // Reset the per-call flight-recorder state: heartbeat seq/ring are
+        // scoped to one solve call so post-mortems describe the call that
+        // actually exhausted the budget.
+        self.solve_start_conflicts = self.stats.conflicts;
+        self.hb_last_conflicts = self.stats.conflicts;
+        self.hb_seq = 0;
+        self.heartbeat_ring.clear();
+
         if self.config.preprocess.enabled && self.pp_dirty {
             self.preprocess();
             if !self.ok {
@@ -484,6 +552,137 @@ impl Solver {
         self.ok
     }
 
+    // ------------------------------------------------------------------
+    // Flight recorder (see crate::flight)
+    // ------------------------------------------------------------------
+
+    /// Interns a clause family name and returns its id (existing names keep
+    /// their id). Ids `0..=2` are reserved for `default`, `learned`, and
+    /// `theory`.
+    pub fn intern_family(&mut self, name: &str) -> u16 {
+        if let Some(id) = self.attribution.families.iter().position(|f| f == name) {
+            return id as u16;
+        }
+        self.attribution.push_family(name)
+    }
+
+    /// Tags every subsequently added problem clause with `family` (an id
+    /// from [`Solver::intern_family`]) until changed again.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `family` was never interned.
+    pub fn set_emit_family(&mut self, family: u16) {
+        assert!(
+            usize::from(family) < self.attribution.families.len(),
+            "family id {family} was never interned"
+        );
+        self.emit_family = family;
+    }
+
+    /// The family currently applied to added clauses.
+    #[must_use]
+    pub fn emit_family(&self) -> u16 {
+        self.emit_family
+    }
+
+    /// The interned family names; the index of a name is its id.
+    #[must_use]
+    pub fn families(&self) -> &[String] {
+        &self.attribution.families
+    }
+
+    /// The per-family attribution of solver work accumulated so far.
+    #[must_use]
+    pub fn attribution(&self) -> &FamilyAttribution {
+        &self.attribution
+    }
+
+    /// Installs (or clears) the heartbeat callback. The hook fires inside
+    /// the search loop every [`SolverConfig::heartbeat_every`] conflicts;
+    /// keep it cheap.
+    pub fn set_heartbeat_hook(&mut self, hook: Option<HeartbeatHook>) {
+        self.heartbeat_hook = hook;
+    }
+
+    /// The heartbeats retained from the most recent solve call, oldest
+    /// first (bounded ring).
+    #[must_use]
+    pub fn heartbeats(&self) -> Vec<Heartbeat> {
+        self.heartbeat_ring.iter().cloned().collect()
+    }
+
+    /// Captures a post-mortem of the most recent solve call: final
+    /// attribution plus the retained heartbeats. Most useful after
+    /// [`SolveOutcome::Unknown`], but callable any time.
+    #[must_use]
+    pub fn postmortem(&self) -> SolverPostmortem {
+        SolverPostmortem {
+            budget: self.config.max_conflicts,
+            conflicts_in_call: self
+                .stats
+                .conflicts
+                .saturating_sub(self.solve_start_conflicts),
+            stats: self.stats,
+            attribution: self.attribution.clone(),
+            heartbeats: self.heartbeats(),
+        }
+    }
+
+    /// Credits every family whose provenance bit is set in the accumulated
+    /// `analysis_mask` with an involved conflict (and, when a clause was
+    /// learnt from it, with a learned ancestor).
+    fn record_conflict_involvement(&mut self, learned: bool) {
+        let mask = self.analysis_mask;
+        for id in 0..self.attribution.families.len() {
+            if mask & family_bit(id as u16) != 0 {
+                self.attribution.conflicts_involving[id] += 1;
+                if learned {
+                    self.attribution.learned_ancestry[id] += 1;
+                }
+            }
+        }
+    }
+
+    /// Emits a heartbeat if at least `heartbeat_every` conflicts have
+    /// accumulated since the last one. Called once per conflict, after the
+    /// learnt clause is attached and the solver has backtracked.
+    fn maybe_heartbeat(&mut self) {
+        let every = self.config.heartbeat_every;
+        if every == 0 || self.stats.conflicts < self.hb_last_conflicts + every {
+            return;
+        }
+        self.hb_last_conflicts = self.stats.conflicts;
+        self.hb_seq += 1;
+        // Level-0 assignments always form a prefix of the trail, bounded by
+        // the first decision marker (or the whole trail if none).
+        let vars_assigned_at_root = self
+            .assignment
+            .trail_lim
+            .first()
+            .copied()
+            .unwrap_or(self.assignment.trail.len()) as u64;
+        let heartbeat = Heartbeat {
+            seq: self.hb_seq,
+            conflicts: self.stats.conflicts,
+            decisions: self.stats.decisions,
+            propagations: self.stats.propagations,
+            restarts: self.stats.restarts,
+            trail_depth: self.assignment.trail.len() as u64,
+            learnt_clauses: self.db.num_learnt as u64,
+            vars_assigned_at_root,
+            total_vars: self.num_vars() as u64,
+            conflicts_by_family: self.attribution.conflicts_by_family.clone(),
+        };
+        if self.heartbeat_ring.len() == HEARTBEAT_RING_CAP {
+            self.heartbeat_ring.pop_front();
+        }
+        self.heartbeat_ring.push_back(heartbeat.clone());
+        if let Some(hook) = self.heartbeat_hook.as_mut() {
+            hook(&heartbeat);
+        }
+    }
+
     /// Handles a conflict clause reported by the theory. Returns `false` if
     /// the problem became unsatisfiable.
     pub(crate) fn handle_theory_conflict<T: Theory>(
@@ -492,6 +691,8 @@ impl Solver {
         theory: &mut T,
     ) -> bool {
         self.stats.conflicts += 1;
+        self.attribution.conflicts_by_family[usize::from(FAMILY_THEORY)] += 1;
+        self.analysis_mask = family_bit(FAMILY_THEORY);
         debug_assert!(
             clause
                 .iter()
@@ -502,10 +703,12 @@ impl Solver {
         // assigned below the current decision level; realign first.
         let level = self.backtrack_to_conflict_level(&clause, theory);
         if level == 0 {
+            self.record_conflict_involvement(false);
             self.ok = false;
             return false;
         }
         let (learnt, backtrack_level, lbd) = self.analyze_lits(&clause);
+        self.record_conflict_involvement(true);
         self.cancel_until(backtrack_level);
         theory.backtrack_to(backtrack_level);
         let asserting = learnt[0];
@@ -517,6 +720,7 @@ impl Solver {
             self.enqueue(asserting, cref);
         }
         self.decay_activities();
+        self.maybe_heartbeat();
         true
     }
 }
@@ -547,14 +751,22 @@ impl Solver {
             if let Some(conflicting) = conflict {
                 self.stats.conflicts += 1;
                 conflicts_this_restart += 1;
+                let (conflict_family, conflict_mask) = {
+                    let clause = self.db.get(conflicting);
+                    (clause.family, clause.mask)
+                };
+                self.attribution.conflicts_by_family[usize::from(conflict_family)] += 1;
+                self.analysis_mask = conflict_mask;
 
                 if self.assignment.decision_level() == 0 {
+                    self.record_conflict_involvement(false);
                     return SearchResult::Unsat;
                 }
 
                 let conflict_lits: Vec<Lit> = self.db.get(conflicting).lits.clone();
                 self.bump_clause(conflicting);
                 let (learnt, backtrack_level, lbd) = self.analyze_lits(&conflict_lits);
+                self.record_conflict_involvement(true);
                 self.cancel_until(backtrack_level);
                 theory.backtrack_to(backtrack_level);
                 let asserting = learnt[0];
@@ -564,6 +776,7 @@ impl Solver {
                 }
                 self.enqueue(asserting, cref);
                 self.decay_activities();
+                self.maybe_heartbeat();
 
                 if let Some(max) = self.config.max_conflicts {
                     if self.stats.conflicts - start_conflicts >= max {

@@ -54,7 +54,9 @@ mod term;
 mod tseitin;
 
 pub use fd::FdVar;
-pub use isopredict_sat::SolverStats;
+pub use isopredict_sat::{
+    FamilyAttribution, Heartbeat, HeartbeatHook, SolverPostmortem, SolverStats,
+};
 pub use order::OrderNode;
 pub use solver::{SmtResult, SmtSolver};
 pub use stats::EncodingStats;

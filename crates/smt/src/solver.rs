@@ -3,7 +3,8 @@
 use std::collections::HashMap;
 
 use isopredict_sat::{
-    Lit, PreprocessSummary, SolveOutcome, Solver as SatSolver, SolverConfig, SolverStats,
+    FamilyAttribution, HeartbeatHook, Lit, PreprocessSummary, SolveOutcome, Solver as SatSolver,
+    SolverConfig, SolverPostmortem, SolverStats,
 };
 
 use crate::fd::{FdVar, FdVarData};
@@ -82,6 +83,53 @@ impl SmtSolver {
     /// limit.
     pub fn set_conflict_budget(&mut self, max_conflicts: Option<u64>) {
         self.sat.config_mut().max_conflicts = max_conflicts;
+    }
+
+    // ------------------------------------------------------------------
+    // Flight recorder passthroughs (see `isopredict_sat::FamilyAttribution`)
+    // ------------------------------------------------------------------
+
+    /// Interns a clause-family tag on the underlying SAT core (see
+    /// [`SmtSolver::set_clause_family`]).
+    pub fn intern_clause_family(&mut self, name: &str) -> u16 {
+        self.sat.intern_family(name)
+    }
+
+    /// Tags every clause subsequently emitted into the SAT core — including
+    /// Tseitin auxiliary clauses and finite-domain cardinality clauses —
+    /// with `family`, until changed again. The solver attributes conflicts,
+    /// propagations, and learned-clause ancestry per family.
+    pub fn set_clause_family(&mut self, family: u16) {
+        self.sat.set_emit_family(family);
+    }
+
+    /// The interned clause-family names (index = family id).
+    #[must_use]
+    pub fn clause_families(&self) -> &[String] {
+        self.sat.families()
+    }
+
+    /// Per-family attribution of SAT-core work accumulated so far.
+    #[must_use]
+    pub fn attribution(&self) -> &FamilyAttribution {
+        self.sat.attribution()
+    }
+
+    /// Emits a progress heartbeat every `every` conflicts (`0` disables).
+    pub fn set_heartbeat_every(&mut self, every: u64) {
+        self.sat.config_mut().heartbeat_every = every;
+    }
+
+    /// Installs (or clears) the SAT-core heartbeat callback.
+    pub fn set_heartbeat_hook(&mut self, hook: Option<HeartbeatHook>) {
+        self.sat.set_heartbeat_hook(hook);
+    }
+
+    /// Captures a post-mortem of the most recent [`SmtSolver::check`] call
+    /// (most useful after [`SmtResult::Unknown`]).
+    #[must_use]
+    pub fn solver_postmortem(&self) -> SolverPostmortem {
+        self.sat.postmortem()
     }
 
     /// The literal that is constrained to be true (lazily created).
@@ -525,6 +573,70 @@ mod tests {
         smt.assert_term(na);
         assert_eq!(smt.check(), SmtResult::Unsat);
         assert_eq!(smt.model_bool(a), None);
+    }
+
+    #[test]
+    fn clause_families_tag_tseitin_clauses_and_theory_conflicts() {
+        let mut smt = SmtSolver::new();
+        let fam = smt.intern_clause_family("isolation:causal");
+        smt.set_clause_family(fam);
+        // An order cycle: the contradiction is only visible to the theory.
+        let a = smt.order_node();
+        let b = smt.order_node();
+        let ab = smt.less(a, b);
+        let ba = smt.less(b, a);
+        let both = smt.and([ab, ba]);
+        smt.assert_term(both);
+        assert_eq!(smt.check(), SmtResult::Unsat);
+        let conflicts = smt.solver_stats().conflicts;
+        let attribution = smt.attribution();
+        assert_eq!(attribution.total_conflicts(), conflicts);
+        assert!(
+            attribution.clauses_by_family[usize::from(fam)] > 0,
+            "Tseitin clauses must inherit the active family tag"
+        );
+        assert!(
+            attribution.conflicts_by_family[usize::from(isopredict_sat::FAMILY_THEORY)] > 0,
+            "the cycle conflict must be charged to the theory family"
+        );
+        assert_eq!(smt.clause_families()[usize::from(fam)], "isolation:causal");
+    }
+
+    #[test]
+    fn heartbeats_and_postmortem_surface_through_the_facade() {
+        use std::sync::{Arc, Mutex};
+        let mut smt = SmtSolver::new();
+        smt.set_preprocessing(false);
+        smt.set_conflict_budget(Some(10));
+        smt.set_heartbeat_every(1);
+        let beats = Arc::new(Mutex::new(0u64));
+        let sink = Arc::clone(&beats);
+        smt.set_heartbeat_hook(Some(Box::new(move |_hb| {
+            *sink.lock().expect("hook lock") += 1;
+        })));
+        // Pigeonhole-style FD problem: 5 variables over 4 values, all distinct.
+        let vars: Vec<FdVar> = (0..5).map(|i| smt.fd_var(format!("p{i}"), 4)).collect();
+        for i in 0..vars.len() {
+            for j in (i + 1)..vars.len() {
+                for v in 0..4 {
+                    let ei = smt.fd_eq(vars[i], v);
+                    let ej = smt.fd_eq(vars[j], v);
+                    let both = smt.and([ei, ej]);
+                    let not_both = smt.not(both);
+                    smt.assert_term(not_both);
+                }
+            }
+        }
+        assert_eq!(smt.check(), SmtResult::Unknown);
+        assert!(*beats.lock().expect("test lock") > 0, "hook never fired");
+        let postmortem = smt.solver_postmortem();
+        assert_eq!(postmortem.budget, Some(10));
+        assert!(postmortem.conflicts_in_call >= 10);
+        assert!(!postmortem.heartbeats.is_empty());
+        assert_eq!(
+            postmortem.attribution.total_conflicts(),
+            postmortem.stats.conflicts
+        );
     }
 
     #[test]
